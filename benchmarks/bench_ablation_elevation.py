@@ -1,0 +1,58 @@
+"""Ablation B — the elevation law (DESIGN.md §5.2).
+
+Compares the paper's doubling elevation against switching elevation off
+entirely and against a slower linear law.  Without any elevation, idle
+high-class suppliers can refuse lower-class requesters indefinitely, which
+wastes supply and slows capacity amplification; a linear law lands between
+the two.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import cached_run, emit_report, paper_config
+from repro.analysis.plots import render_table
+from repro.analysis.stats import area_under_series, value_at_hour
+
+
+def test_ablation_elevation_law(benchmark):
+    """DAC vs no-elevation vs linear elevation (pattern 2)."""
+
+    def run():
+        return {
+            name: cached_run(paper_config(protocol=name, arrival_pattern=2))
+            for name in ("dac", "dac-no-elevation", "dac-linear-elevation",
+                         "dac-generous-init")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, result in results.items():
+        series = result.metrics.capacity_series
+        rows.append(
+            [
+                name,
+                f"{area_under_series(series):.0f}",
+                f"{value_at_hour(series, 48):.0f}",
+                f"{result.metrics.final_capacity():.0f}",
+                f"{100 * result.capacity_fraction_of_max:.1f}%",
+            ]
+        )
+    text = render_table(
+        ["protocol", "capacity area", "capacity @48h", "final", "% of max"],
+        rows,
+        title="Ablation B — elevation law (pattern 2)",
+    )
+    emit_report("ablation_elevation", text)
+
+    # Every variant still converges to a high fraction of max capacity
+    # (retries + session-end relaxation eventually admit everyone) ...
+    for result in results.values():
+        assert result.capacity_fraction_of_max > 0.85
+
+    # ... and disabling the idle timer must not *help* (the paper's rule
+    # exists to free stranded high-class supply).
+    assert (
+        area_under_series(results["dac-no-elevation"].metrics.capacity_series)
+        <= area_under_series(results["dac"].metrics.capacity_series) * 1.05
+    )

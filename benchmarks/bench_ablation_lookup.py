@@ -1,0 +1,77 @@
+"""Ablation C — lookup substrate: central directory vs Chord DHT.
+
+The paper's footnote 4 allows either a Napster-style directory or a Chord
+DHT for candidate discovery.  Both only need to produce M random supplier
+candidates, so protocol outcomes should be statistically equivalent; the
+substrates differ in signalling (one round trip vs O(log n) hops per
+operation).  This bench runs the same workload on both and compares.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import cached_run, emit_report, paper_config, repro_scale
+from repro.analysis.plots import render_table
+from repro.analysis.stats import area_under_series
+
+
+def test_ablation_lookup_substrate(benchmark):
+    """Directory vs Chord on the same (smaller) workload."""
+    # The Chord path costs O(log n) routing work per operation in the
+    # simulator itself, so this ablation runs at a reduced scale.
+    scale_factor = min(repro_scale(), 0.05)
+
+    def run():
+        base = paper_config(arrival_pattern=2)
+        shrink = scale_factor / repro_scale()
+        small = base.scaled(shrink)
+        return {
+            name: cached_run(small.replace(lookup=name))
+            for name in ("directory", "chord")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, result in results.items():
+        stats = result.message_stats or {}
+        rows.append(
+            [
+                name,
+                f"{result.metrics.final_capacity():.0f}",
+                f"{100 * result.capacity_fraction_of_max:.1f}%",
+                f"{sum(result.metrics.admitted.values())}",
+                f"{stats.get('count_dht_hop', 0):.0f}",
+                f"{stats.get('count_lookup', 0):.0f}",
+            ]
+        )
+    text = render_table(
+        ["lookup", "final capacity", "% of max", "admitted", "dht hops",
+         "directory msgs"],
+        rows,
+        title="Ablation C — lookup substrate equivalence",
+    )
+    emit_report("ablation_lookup", text)
+
+    directory = results["directory"]
+    chord = results["chord"]
+
+    # Equivalent protocol outcomes: admitted populations within 2 % (the
+    # two substrates consume the RNG streams differently, so runs are not
+    # bit-identical), final capacities within a few percent, growth areas
+    # within 15 %.
+    admitted_directory = sum(directory.metrics.admitted.values())
+    admitted_chord = sum(chord.metrics.admitted.values())
+    assert abs(admitted_directory - admitted_chord) <= max(
+        2, 0.02 * admitted_directory
+    )
+    assert abs(
+        directory.metrics.final_capacity() - chord.metrics.final_capacity()
+    ) <= max(2.0, 0.05 * directory.metrics.final_capacity())
+    area_dir = area_under_series(directory.metrics.capacity_series)
+    area_chord = area_under_series(chord.metrics.capacity_series)
+    assert abs(area_dir - area_chord) <= 0.15 * area_dir
+
+    # Substrates differ where expected: Chord pays DHT hops, the directory
+    # pays registry messages.
+    assert chord.message_stats["count_dht_hop"] > 0
+    assert directory.message_stats.get("count_dht_hop", 0) == 0

@@ -1,0 +1,104 @@
+"""Extension — receiver-buffer cost of the assignment algorithms.
+
+OTS_p2p minimizes buffering *delay*; this extension measures the companion
+resource, receiver-buffer occupancy, across all feasible session shapes of
+the 4-class ladder.  The paper assumes unbounded storage (footnote 1), so
+this is a cost report rather than a constraint — it shows that OTS's lower
+delay does not come at a buffer premium relative to the contiguous
+baseline.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_report
+from repro.analysis.plots import render_table
+from repro.core.assignment import (
+    contiguous_assignment,
+    ots_assignment,
+    sweep_assignment,
+)
+from repro.core.model import ClassLadder, SupplierOffer
+from repro.core.schedule import min_start_delay_slots
+from repro.streaming.buffer import occupancy_profile
+
+
+def _enumerate_feasible(ladder: ClassLadder) -> list[list[int]]:
+    shapes: list[list[int]] = []
+
+    def recurse(prefix: list[int], deficit: int) -> None:
+        if deficit == 0:
+            shapes.append(list(prefix))
+            return
+        start = prefix[-1] if prefix else 1
+        for c in range(start, ladder.num_classes + 1):
+            if ladder.offer_units(c) <= deficit:
+                prefix.append(c)
+                recurse(prefix, deficit - ladder.offer_units(c))
+                prefix.pop()
+
+    recurse([], ladder.full_rate_units)
+    return shapes
+
+
+def test_buffer_occupancy_of_assignments(benchmark):
+    """Peak/mean receiver-buffer occupancy, OTS vs sweep vs contiguous."""
+    ladder = ClassLadder(4)
+    shapes = _enumerate_feasible(ladder)
+    algorithms = {
+        "ots": ots_assignment,
+        "sweep": sweep_assignment,
+        "contiguous": contiguous_assignment,
+    }
+
+    def measure():
+        stats: dict[str, dict[str, float]] = {}
+        for name, algorithm in algorithms.items():
+            peaks, means, delays = [], [], []
+            for classes in shapes:
+                offers = [
+                    SupplierOffer(i + 1, c, ladder.offer_units(c))
+                    for i, c in enumerate(classes)
+                ]
+                assignment = algorithm(offers, ladder)
+                delay = min_start_delay_slots(assignment)
+                profile = occupancy_profile(assignment, delay)
+                peaks.append(profile.peak_segments)
+                means.append(profile.mean_segments)
+                delays.append(delay)
+            stats[name] = {
+                "mean_peak": sum(peaks) / len(peaks),
+                "max_peak": max(peaks),
+                "mean_occupancy": sum(means) / len(means),
+                "mean_delay": sum(delays) / len(delays),
+            }
+        return stats
+
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            f"{values['mean_delay']:.2f}",
+            f"{values['mean_peak']:.2f}",
+            f"{values['max_peak']:.0f}",
+            f"{values['mean_occupancy']:.2f}",
+        ]
+        for name, values in stats.items()
+    ]
+    text = render_table(
+        ["algorithm", "mean delay (dt)", "mean peak buffer (segs)",
+         "worst peak", "mean occupancy"],
+        rows,
+        title=(
+            f"Extension — receiver-buffer cost over all {len(shapes)} "
+            "feasible session shapes (N=4), at each algorithm's own minimum "
+            "start delay"
+        ),
+    )
+    emit_report("buffer_occupancy", text)
+
+    # OTS wins on delay by construction...
+    assert stats["ots"]["mean_delay"] <= stats["sweep"]["mean_delay"]
+    assert stats["ots"]["mean_delay"] < stats["contiguous"]["mean_delay"]
+    # ...and pays no buffer premium over the contiguous baseline.
+    assert stats["ots"]["mean_peak"] <= stats["contiguous"]["mean_peak"] + 0.5

@@ -1,0 +1,92 @@
+"""Figure 1 — media data assignments and their buffering delays.
+
+Regenerates the paper's opening example: four suppliers of classes
+1, 2, 3, 3 serving one requesting peer.  Assignment I (contiguous blocks)
+costs a 5-slot buffering delay; Assignment II (the OTS_p2p output) costs 4,
+the Theorem-1 minimum.  The benchmark also times the assignment algorithms
+themselves on progressively larger supplier sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import figure1_report
+from repro.core.assignment import (
+    contiguous_assignment,
+    ots_assignment,
+    sweep_assignment,
+)
+from repro.core.model import ClassLadder, SupplierOffer
+from repro.core.schedule import min_start_delay_slots
+
+
+def test_figure1_reproduction(benchmark):
+    """Render Figure 1 and assert the paper's exact delays."""
+    text = benchmark.pedantic(figure1_report, rounds=1, iterations=1)
+    emit_report("fig1_assignment", text)
+    assert "5 x dt" in text and "4 x dt" in text
+
+
+@pytest.mark.parametrize("num_classes", [4, 6, 8])
+def test_ots_assignment_speed(benchmark, num_classes):
+    """Time OTS_p2p on the largest session a ladder of N classes allows."""
+    ladder = ClassLadder(num_classes)
+    # Worst case: every supplier is of the lowest class (2**N suppliers).
+    offers = [
+        SupplierOffer(peer_id=i, peer_class=num_classes, units=1)
+        for i in range(ladder.full_rate_units)
+    ]
+    assignment = benchmark(ots_assignment, offers, ladder)
+    assert min_start_delay_slots(assignment) == len(offers)
+
+
+def test_assignment_algorithm_delay_comparison(benchmark):
+    """Mean delay of OTS vs baselines across every session shape (N=4)."""
+    ladder = ClassLadder(4)
+
+    def enumerate_feasible(prefix, deficit, out):
+        if deficit == 0:
+            out.append(list(prefix))
+            return
+        start = prefix[-1] if prefix else 1
+        for c in range(start, ladder.num_classes + 1):
+            if ladder.offer_units(c) <= deficit:
+                prefix.append(c)
+                enumerate_feasible(prefix, deficit - ladder.offer_units(c), out)
+                prefix.pop()
+
+    shapes: list[list[int]] = []
+    enumerate_feasible([], ladder.full_rate_units, shapes)
+
+    def measure():
+        rows = []
+        for algorithm in (ots_assignment, sweep_assignment, contiguous_assignment):
+            delays = []
+            for classes in shapes:
+                offers = [
+                    SupplierOffer(i + 1, c, ladder.offer_units(c))
+                    for i, c in enumerate(classes)
+                ]
+                delays.append(
+                    min_start_delay_slots(algorithm(offers, ladder))
+                    - len(classes)  # excess over the Theorem-1 minimum
+                )
+            rows.append((algorithm.__name__, sum(delays) / len(delays), max(delays)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"Assignment delay excess over the Theorem-1 minimum "
+        f"(all {len(shapes)} session shapes, N=4):",
+        f"{'algorithm':<24}{'mean excess':>12}{'max excess':>12}",
+    ]
+    for name, mean_excess, max_excess in rows:
+        lines.append(f"{name:<24}{mean_excess:>12.3f}{max_excess:>12d}")
+    emit_report("fig1_algorithm_comparison", "\n".join(lines))
+
+    by_name = {name: mean for name, mean, _mx in rows}
+    assert by_name["ots_assignment"] == 0.0           # always optimal
+    assert by_name["sweep_assignment"] >= 0.0          # never better
+    assert by_name["contiguous_assignment"] > 0.0      # strictly worse overall

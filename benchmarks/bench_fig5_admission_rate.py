@@ -1,0 +1,54 @@
+"""Figure 5 — per-class accumulative request admission rate.
+
+Under DAC_p2p the admission rate is differentiated: the higher a requesting
+peer's class, the higher its cumulative admission rate at any time during
+the ramp, while NDAC_p2p's classes stay bunched together.  Moreover DAC's
+rates dominate NDAC's per class (for class 4, except possibly the first few
+hours — exactly the paper's caveat).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import cached_run, emit_report, paper_config
+from repro.analysis.report import figure5_report
+from repro.analysis.stats import value_at_hour
+
+
+def test_figure5_admission_rates(benchmark):
+    """Regenerate Figure 5 (pattern 2, both protocols)."""
+
+    def run():
+        return (
+            cached_run(paper_config(protocol="dac", arrival_pattern=2)),
+            cached_run(paper_config(protocol="ndac", arrival_pattern=2)),
+        )
+
+    dac, ndac = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        figure5_report(dac, label="DAC_p2p")
+        + "\n\n"
+        + figure5_report(ndac, label="NDAC_p2p")
+    )
+    emit_report("fig5_admission_rate", text)
+
+    # Differentiation during the ramp: class 1 above class 4 under DAC.
+    for hour in (24, 36, 48):
+        rate_1 = value_at_hour(dac.metrics.admission_rate_series[1], hour)
+        rate_4 = value_at_hour(dac.metrics.admission_rate_series[4], hour)
+        assert rate_1 > rate_4
+
+    # DAC's spread exceeds NDAC's (NDAC "does not differentiate").
+    def spread(result, hour):
+        values = [
+            value_at_hour(result.metrics.admission_rate_series[c], hour, default=0.0)
+            for c in (1, 2, 3, 4)
+        ]
+        return max(values) - min(values)
+
+    assert spread(dac, 36) > spread(ndac, 36)
+
+    # Overall benefit: DAC's final per-class rates at least match NDAC's.
+    dac_final = dac.metrics.admission_rate_percent()
+    ndac_final = ndac.metrics.admission_rate_percent()
+    for peer_class in (1, 2, 3):
+        assert dac_final[peer_class] >= ndac_final[peer_class] - 1.0

@@ -1,0 +1,45 @@
+"""Figure 6 — per-class accumulative average buffering delay (× δt).
+
+By Theorem 1 the buffering delay of a session equals the number of
+participating suppliers; DAC_p2p serves higher-class requesters with
+higher-class (fewer) suppliers, so their delay is lower, and every class's
+mean delay under DAC_p2p undercuts its NDAC_p2p counterpart.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import cached_run, emit_report, paper_config
+from repro.analysis.report import figure6_report
+
+
+def test_figure6_buffering_delay(benchmark):
+    """Regenerate Figure 6 (pattern 2, both protocols)."""
+
+    def run():
+        return (
+            cached_run(paper_config(protocol="dac", arrival_pattern=2)),
+            cached_run(paper_config(protocol="ndac", arrival_pattern=2)),
+        )
+
+    dac, ndac = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        figure6_report(dac, label="DAC_p2p")
+        + "\n\n"
+        + figure6_report(ndac, label="NDAC_p2p")
+    )
+    emit_report("fig6_buffering_delay", text)
+
+    dac_delay = dac.metrics.mean_buffering_delay_slots()
+    ndac_delay = ndac.metrics.mean_buffering_delay_slots()
+
+    # Delays live in the paper's plotted band (axis 2..5.5 x dt) — wide
+    # sanity bounds: at least 2 suppliers per session, at most M = 8.
+    for value in list(dac_delay.values()) + list(ndac_delay.values()):
+        assert 2.0 <= value <= 8.0
+
+    # Overall improvement: DAC's mean delay below NDAC's for every class.
+    for peer_class in (1, 2, 3, 4):
+        assert dac_delay[peer_class] < ndac_delay[peer_class] + 0.25
+
+    # Differentiation: class 1 enjoys a lower delay than class 4 under DAC.
+    assert dac_delay[1] < dac_delay[4]

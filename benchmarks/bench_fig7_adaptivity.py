@@ -1,0 +1,56 @@
+"""Figure 7 — adaptivity of DAC_p2p's admission differentiation.
+
+Under the bursty arrival pattern 4, suppliers dynamically adjust their
+lowest favored requesting class: high-class suppliers start tight (favoring
+only their own class), relax after idle timeouts, re-tighten when reminders
+arrive during bursts, and once no new requests arrive all supplier classes
+relax completely (lowest favored class = 4).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import cached_run, emit_report, paper_config
+from repro.analysis.report import figure7_report
+from repro.analysis.stats import value_at_hour, windowed_mean
+
+
+def test_figure7_adaptive_differentiation(benchmark):
+    """Regenerate Figure 7 (pattern 4, DAC_p2p)."""
+
+    def run():
+        return cached_run(paper_config(protocol="dac", arrival_pattern=4))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = figure7_report(result)
+    emit_report("fig7_adaptivity", text)
+
+    favored = result.metrics.favored_series
+
+    # Class-1 suppliers start favoring only class 1 (value 1.0).
+    class1 = windowed_mean(favored[1], 3.0)
+    assert class1[0].value < 2.0
+
+    # By the end of the run every class of suppliers favors everyone.
+    for peer_class in (1, 2, 3, 4):
+        if favored[peer_class]:
+            assert favored[peer_class][-1].value >= 3.9
+
+    # Differentiation exists mid-ramp: class-1 suppliers are (weakly)
+    # tighter than class-4 suppliers.  Class-4 suppliers *start* saturated
+    # but reminders from high-class requesters may tighten them too — the
+    # paper's Figure 7 shows exactly that dip — so we compare averages
+    # rather than demanding permanent saturation.
+    mid = 24.0
+    class1_mid = value_at_hour(favored[1], mid)
+    class4_mid = value_at_hour(favored[4], mid, default=4.0)
+    assert class1_mid <= class4_mid + 1e-9
+
+    def series_mean(points):
+        return sum(p.value for p in points) / len(points) if points else 4.0
+
+    assert series_mean(favored[1]) <= series_mean(favored[4]) + 1e-9
+
+    # Adaptivity: the class-1 curve actually moves over time (tighten /
+    # relax dynamics, not a constant).
+    values = [p.value for p in favored[1]]
+    assert max(values) - min(values) > 0.5

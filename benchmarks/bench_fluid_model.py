@@ -1,0 +1,71 @@
+"""Extension — the fluid model vs the discrete-event simulation.
+
+Integrates the protocol-free mean-field model of
+:mod:`repro.analysis.fluid` and overlays it on the DES's Figure-4 curve.
+Expected relationship: the fluid curve is an upper envelope (the DES pays
+probing granularity, admission-probability denials and backoff
+quantization), both saturate at the same all-peers-supplying maximum, and
+the DAC curve hugs the envelope much more closely than NDAC — which is a
+quantitative way of saying DAC wastes less of the theoretically available
+growth.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import cached_run, emit_report, paper_config
+from repro.analysis.fluid import fluid_capacity_model
+from repro.analysis.plots import ascii_chart, render_table
+from repro.analysis.stats import area_under_series, value_at_hour
+
+
+def test_fluid_vs_des(benchmark):
+    """Fluid envelope vs DAC and NDAC DES curves (pattern 2)."""
+
+    def run():
+        config = paper_config(arrival_pattern=2)
+        return (
+            fluid_capacity_model(config),
+            cached_run(config.replace(protocol="dac")),
+            cached_run(config.replace(protocol="ndac")),
+        )
+
+    fluid, dac, ndac = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    chart = ascii_chart(
+        {
+            "fluid": fluid.capacity,
+            "dac": dac.metrics.capacity_series,
+            "ndac": ndac.metrics.capacity_series,
+        },
+        title="Extension — mean-field fluid envelope vs DES (pattern 2)",
+        y_label="sessions",
+    )
+    hours = [12.0 * i for i in range(13)]
+    rows = []
+    for hour in hours:
+        rows.append(
+            [
+                f"{hour:.0f}h",
+                f"{value_at_hour(fluid.capacity, hour):.0f}",
+                f"{value_at_hour(dac.metrics.capacity_series, hour):.0f}",
+                f"{value_at_hour(ndac.metrics.capacity_series, hour):.0f}",
+            ]
+        )
+    table = render_table(["hour", "fluid", "dac", "ndac"], rows)
+    emit_report("fluid_model", chart + "\n\n" + table)
+
+    # Envelope property: the DES never exceeds the fluid curve materially.
+    for hour in hours:
+        fluid_value = value_at_hour(fluid.capacity, hour)
+        assert value_at_hour(dac.metrics.capacity_series, hour) <= (
+            fluid_value * 1.05 + 2.0
+        )
+
+    # Shared endpoint: both saturate at the population maximum.
+    assert dac.metrics.final_capacity() >= 0.93 * fluid.final_capacity()
+
+    # Efficiency ranking: DAC tracks the envelope more closely than NDAC.
+    fluid_area = area_under_series(fluid.capacity)
+    dac_gap = fluid_area - area_under_series(dac.metrics.capacity_series)
+    ndac_gap = fluid_area - area_under_series(ndac.metrics.capacity_series)
+    assert 0 < dac_gap < ndac_gap

@@ -1,0 +1,68 @@
+"""Table 1 — per-class average number of rejections before admission.
+
+The paper reports (DAC/NDAC):
+
+===========  ============  ============
+             Pattern 2     Pattern 4
+===========  ============  ============
+Class 1      1.77 / 3.73   1.93 / 3.45
+Class 2      1.93 / 3.75   2.19 / 3.46
+Class 3      2.40 / 3.72   2.59 / 3.42
+Class 4      3.15 / 3.74   3.16 / 3.46
+===========  ============  ============
+
+Expected shape (absolute numbers differ with scale/seed): DAC's rejections
+increase monotonically with the class index, every DAC entry beats its
+NDAC counterpart, and NDAC's column is flat across classes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import cached_run, emit_report, paper_config
+from repro.analysis.report import table1_report
+
+PAPER_TABLE1 = {
+    # (class, pattern): (DAC, NDAC)
+    (1, 2): (1.77, 3.73),
+    (2, 2): (1.93, 3.75),
+    (3, 2): (2.40, 3.72),
+    (4, 2): (3.15, 3.74),
+    (1, 4): (1.93, 3.45),
+    (2, 4): (2.19, 3.46),
+    (3, 4): (2.59, 3.42),
+    (4, 4): (3.16, 3.46),
+}
+
+
+def test_table1_rejections_before_admission(benchmark):
+    """Regenerate Table 1 for patterns 2 and 4."""
+
+    def run():
+        return {
+            (protocol, pattern): cached_run(
+                paper_config(protocol=protocol, arrival_pattern=pattern)
+            )
+            for protocol in ("dac", "ndac")
+            for pattern in (2, 4)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = table1_report(results, paper_values=PAPER_TABLE1)
+    emit_report("table1_rejections", text)
+
+    for pattern in (2, 4):
+        dac = results[("dac", pattern)].metrics.mean_rejections_before_admission()
+        ndac = results[("ndac", pattern)].metrics.mean_rejections_before_admission()
+
+        # DAC differentiates: rejections grow from class 1 to class 4.
+        assert dac[1] < dac[2] < dac[4]
+        assert dac[1] < dac[3] < dac[4]
+
+        # DAC beats NDAC for every class.
+        for peer_class in (1, 2, 3, 4):
+            assert dac[peer_class] < ndac[peer_class]
+
+        # NDAC is flat: its per-class spread is far below DAC's.
+        ndac_spread = max(ndac.values()) - min(ndac.values())
+        dac_spread = max(dac.values()) - min(dac.values())
+        assert ndac_spread < dac_spread

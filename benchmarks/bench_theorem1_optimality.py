@@ -1,0 +1,108 @@
+"""Theorem 1 — OTS_p2p optimality at benchmark scale.
+
+Checks, over every feasible session shape on the 4-class ladder and random
+shapes on larger ladders, that OTS_p2p's delay equals the number of
+suppliers — and times the verification pipeline (assignment + schedule +
+playback replay), which is the per-admission cost the simulator pays.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit_report
+from repro.core.assignment import ots_assignment
+from repro.core.model import ClassLadder, SupplierOffer
+from repro.core.schedule import min_start_delay_slots
+from repro.core.theorems import brute_force_min_delay_slots
+from repro.streaming.playback import empirical_min_delay_slots
+
+
+def _enumerate_feasible(ladder: ClassLadder) -> list[list[int]]:
+    shapes: list[list[int]] = []
+
+    def recurse(prefix: list[int], deficit: int) -> None:
+        if deficit == 0:
+            shapes.append(list(prefix))
+            return
+        start = prefix[-1] if prefix else 1
+        for c in range(start, ladder.num_classes + 1):
+            if ladder.offer_units(c) <= deficit:
+                prefix.append(c)
+                recurse(prefix, deficit - ladder.offer_units(c))
+                prefix.pop()
+
+    recurse([], ladder.full_rate_units)
+    return shapes
+
+
+def _offers(classes: list[int], ladder: ClassLadder) -> list[SupplierOffer]:
+    return [
+        SupplierOffer(i + 1, c, ladder.offer_units(c)) for i, c in enumerate(classes)
+    ]
+
+
+def test_theorem1_exhaustive_on_paper_ladder(benchmark):
+    """Every feasible session shape (N = 4) achieves delay = n."""
+    ladder = ClassLadder(4)
+    shapes = _enumerate_feasible(ladder)
+
+    def verify():
+        failures = []
+        for classes in shapes:
+            assignment = ots_assignment(_offers(classes, ladder), ladder)
+            if min_start_delay_slots(assignment) != len(classes):
+                failures.append(classes)
+            if empirical_min_delay_slots(assignment) != len(classes):
+                failures.append(classes)
+        return failures
+
+    failures = benchmark.pedantic(verify, rounds=1, iterations=1)
+    emit_report(
+        "theorem1_optimality",
+        f"Theorem 1 verified on all {len(shapes)} feasible session shapes "
+        f"(ladder N=4): delay == n for every shape; failures: {failures}",
+    )
+    assert failures == []
+
+
+def test_theorem1_brute_force_small_periods(benchmark):
+    """Brute force confirms no assignment beats n on small periods."""
+    ladder = ClassLadder(4)
+    shapes = [s for s in _enumerate_feasible(ladder) if max(s) <= 3]
+
+    def verify():
+        return all(
+            brute_force_min_delay_slots(_offers(classes, ladder), ladder)
+            == len(classes)
+            for classes in shapes
+        )
+
+    assert benchmark.pedantic(verify, rounds=1, iterations=1)
+
+
+def test_theorem1_randomized_large_ladders(benchmark):
+    """Random feasible shapes on ladders up to N = 8 achieve delay = n."""
+    rng = random.Random(20020701)
+
+    def verify():
+        checked = 0
+        for num_classes in (5, 6, 7, 8):
+            ladder = ClassLadder(num_classes)
+            for _ in range(100):
+                classes: list[int] = []
+                deficit = ladder.full_rate_units
+                while deficit > 0:
+                    feasible = [
+                        c for c in ladder.classes if ladder.offer_units(c) <= deficit
+                    ]
+                    chosen = rng.choice(feasible)
+                    classes.append(chosen)
+                    deficit -= ladder.offer_units(chosen)
+                assignment = ots_assignment(_offers(classes, ladder), ladder)
+                assert min_start_delay_slots(assignment) == len(classes)
+                checked += 1
+        return checked
+
+    checked = benchmark.pedantic(verify, rounds=1, iterations=1)
+    assert checked == 400

@@ -1,0 +1,81 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Simulation
+results are cached per configuration so that, e.g., the DAC/pattern-2 run
+feeding Figures 4, 5, 6 and Table 1 executes once.
+
+Scale
+-----
+``REPRO_SCALE`` (default ``0.1``) scales the peer population; ``1.0`` is the
+paper's full 50,100 peers.  All reported *shapes* are scale-invariant
+because the protocol dynamics depend on supply/demand ratios.
+
+Output
+------
+Each benchmark writes its rendered report to ``benchmarks/output/<name>.txt``
+and prints it (visible with ``pytest -s``); EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import SimulationResult, run_simulation
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+_RESULT_CACHE: dict[tuple, SimulationResult] = {}
+
+
+def repro_scale() -> float:
+    """Population scale for benchmark runs (env ``REPRO_SCALE``)."""
+    return float(os.environ.get("REPRO_SCALE", "0.1"))
+
+
+def paper_config(**overrides: object) -> SimulationConfig:
+    """The paper's configuration at benchmark scale, with overrides."""
+    config = SimulationConfig().scaled(repro_scale())
+    if overrides:
+        config = config.replace(**overrides)
+    return config
+
+
+def cached_run(config: SimulationConfig) -> SimulationResult:
+    """Run (or reuse) the simulation for ``config``."""
+    key = (
+        config.protocol,
+        config.arrival_pattern,
+        config.probe_candidates,
+        config.t_out_seconds,
+        config.t_bkf_seconds,
+        config.e_bkf,
+        config.lookup,
+        config.down_probability,
+        config.supplier_mean_online_seconds,
+        config.supplier_mean_offline_seconds,
+        config.suppliers_rejoin,
+        config.master_seed,
+        tuple(sorted(config.seed_suppliers.items())),
+        tuple(sorted(config.requesting_peers.items())),
+    )
+    if key not in _RESULT_CACHE:
+        _RESULT_CACHE[key] = run_simulation(config)
+    return _RESULT_CACHE[key]
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a benchmark's report and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{'=' * 78}\n{text}\n{'=' * 78}")
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Session fixture exposing the configured population scale."""
+    return repro_scale()

@@ -1,0 +1,93 @@
+"""repro — a full reproduction of *On Peer-to-Peer Media Streaming*.
+
+Xu, Hefeeda, Hambrusch, Bhargava (ICDCS 2002) studied two problems in
+peer-to-peer media streaming with heterogeneous peer bandwidth:
+
+1. **Media data assignment** — Algorithm ``OTS_p2p`` distributes a CBR
+   stream's segments over multiple supplying peers so the requesting peer
+   sees the provably minimum buffering delay (``n·δt`` for ``n`` suppliers).
+2. **Fast capacity amplification** — Protocol ``DAC_p2p`` is a distributed
+   differentiated admission control scheme (probability vectors, idle
+   elevation, reminders, exponential backoff) that grows total streaming
+   capacity quickly and rewards peers for pledging more out-bound bandwidth.
+
+This package implements both, every substrate they need (discrete-event
+simulator, Napster-style directory and a Chord DHT, streaming/playback
+models), the paper's baselines, and a benchmark harness regenerating every
+figure and table of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import SimulationConfig, run_simulation
+>>> result = run_simulation(SimulationConfig().scaled(0.02))
+>>> result.metrics.final_capacity() > 0
+True
+
+See ``examples/quickstart.py`` for a guided tour and DESIGN.md for the
+system inventory.
+"""
+
+from repro.core.model import ClassLadder, Peer, PeerRole, SupplierOffer
+from repro.core.assignment import (
+    Assignment,
+    contiguous_assignment,
+    ots_assignment,
+    round_robin_assignment,
+    sweep_assignment,
+)
+from repro.core.schedule import (
+    TransmissionSchedule,
+    min_start_delay_slots,
+    verify_continuous_playback,
+)
+from repro.core.theorems import theorem1_min_delay_slots
+from repro.core.admission import AdmissionVector, SupplierAdmissionState
+from repro.core.capacity import CapacityLedger, max_capacity_sessions
+from repro.streaming.media import MediaFile
+from repro.streaming.session import StreamingSession, plan_session
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import (
+    SimulationResult,
+    compare_protocols,
+    run_simulation,
+    sweep_parameter,
+)
+from repro.simulation.system import StreamingSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core model
+    "ClassLadder",
+    "Peer",
+    "PeerRole",
+    "SupplierOffer",
+    # OTS_p2p and baselines
+    "Assignment",
+    "ots_assignment",
+    "sweep_assignment",
+    "contiguous_assignment",
+    "round_robin_assignment",
+    "TransmissionSchedule",
+    "min_start_delay_slots",
+    "verify_continuous_playback",
+    "theorem1_min_delay_slots",
+    # DAC_p2p mechanics
+    "AdmissionVector",
+    "SupplierAdmissionState",
+    # capacity
+    "CapacityLedger",
+    "max_capacity_sessions",
+    # streaming
+    "MediaFile",
+    "StreamingSession",
+    "plan_session",
+    # simulation
+    "SimulationConfig",
+    "StreamingSystem",
+    "SimulationResult",
+    "run_simulation",
+    "compare_protocols",
+    "sweep_parameter",
+]

@@ -1,0 +1,138 @@
+"""Named experiment registry: one entry per paper table/figure.
+
+This mirrors DESIGN.md §4's experiment index in executable form: each
+experiment id maps to a function that takes a scaled
+:class:`~repro.simulation.config.SimulationConfig` and returns the rendered
+report text.  The CLI exposes it as ``python -m repro experiment <id>``;
+the benchmark harness covers the same ground with assertions attached.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.analysis import report
+from repro.errors import ConfigurationError
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import compare_protocols, run_simulation, sweep_parameter
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "list_experiments"]
+
+MINUTE = 60.0
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable paper artifact."""
+
+    experiment_id: str
+    title: str
+    runner: Callable[[SimulationConfig], str]
+
+
+def _fig1(config: SimulationConfig) -> str:
+    return report.figure1_report(config.ladder)
+
+
+def _fig4(config: SimulationConfig) -> str:
+    sections = []
+    for pattern in (2, 4):
+        results = compare_protocols(config.replace(arrival_pattern=pattern))
+        sections.append(report.figure4_report(results, pattern=pattern))
+    return "\n\n".join(sections)
+
+
+def _fig5(config: SimulationConfig) -> str:
+    results = compare_protocols(config.replace(arrival_pattern=2))
+    return (
+        report.figure5_report(results["dac"], label="DAC_p2p")
+        + "\n\n"
+        + report.figure5_report(results["ndac"], label="NDAC_p2p")
+    )
+
+
+def _fig6(config: SimulationConfig) -> str:
+    results = compare_protocols(config.replace(arrival_pattern=2))
+    return (
+        report.figure6_report(results["dac"], label="DAC_p2p")
+        + "\n\n"
+        + report.figure6_report(results["ndac"], label="NDAC_p2p")
+    )
+
+
+def _table1(config: SimulationConfig) -> str:
+    results = {
+        (protocol, pattern): run_simulation(
+            config.replace(protocol=protocol, arrival_pattern=pattern)
+        )
+        for protocol in ("dac", "ndac")
+        for pattern in (2, 4)
+    }
+    return report.table1_report(results)
+
+
+def _fig7(config: SimulationConfig) -> str:
+    result = run_simulation(config.replace(arrival_pattern=4, protocol="dac"))
+    return report.figure7_report(result)
+
+
+def _fig8a(config: SimulationConfig) -> str:
+    sweep = sweep_parameter(
+        config.replace(arrival_pattern=2), "probe_candidates", [4, 8, 16, 32]
+    )
+    return report.figure8_report(sweep, parameter_label="M")
+
+
+def _fig8b(config: SimulationConfig) -> str:
+    sweep = sweep_parameter(
+        config.replace(arrival_pattern=2),
+        "t_out_seconds",
+        [1 * MINUTE, 2 * MINUTE, 20 * MINUTE, 60 * MINUTE, 120 * MINUTE],
+    )
+    relabeled = {
+        f"{value / MINUTE:.0f}min": result for value, result in sweep.items()
+    }
+    return report.figure8_report(relabeled, parameter_label="T_out")
+
+
+def _fig9(config: SimulationConfig) -> str:
+    sweep = sweep_parameter(
+        config.replace(arrival_pattern=2), "e_bkf", [1.0, 2.0, 3.0, 4.0]
+    )
+    return report.figure9_report(sweep)
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.experiment_id: e
+    for e in (
+        Experiment("fig1", "Figure 1 — media data assignments", _fig1),
+        Experiment("fig4", "Figure 4 — capacity amplification", _fig4),
+        Experiment("fig5", "Figure 5 — per-class admission rate", _fig5),
+        Experiment("fig6", "Figure 6 — per-class buffering delay", _fig6),
+        Experiment("table1", "Table 1 — rejections before admission", _table1),
+        Experiment("fig7", "Figure 7 — adaptivity of differentiation", _fig7),
+        Experiment("fig8a", "Figure 8(a) — impact of M", _fig8a),
+        Experiment("fig8b", "Figure 8(b) — impact of T_out", _fig8b),
+        Experiment("fig9", "Figure 9 — impact of E_bkf", _fig9),
+    )
+}
+
+
+def list_experiments() -> str:
+    """Human-readable list of registered experiments."""
+    return "\n".join(
+        f"  {experiment.experiment_id:<8} {experiment.title}"
+        for experiment in EXPERIMENTS.values()
+    )
+
+
+def run_experiment(experiment_id: str, config: SimulationConfig) -> str:
+    """Run one experiment by id and return its rendered report."""
+    try:
+        experiment = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known:\n{list_experiments()}"
+        ) from None
+    return experiment.runner(config)

@@ -1,0 +1,130 @@
+"""Multi-seed replication of experiments.
+
+A single simulation run is one draw from the protocol's stochastic
+behaviour; publishable comparisons replicate over independent seeds and
+report means with confidence intervals.  This module runs a configuration
+under ``k`` derived seeds and aggregates:
+
+* scalar metrics (final capacity, per-class rejections/delays/waits) into
+  ``mean ± half-width`` records, and
+* time series (e.g. the Figure-4 capacity curve) into pointwise mean /
+  min / max envelopes on a common hourly grid.
+
+Used by the variance benchmark and available to downstream users who want
+error bars on any of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.analysis.stats import mean_confidence_interval, value_at_hour
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import SeriesPoint
+from repro.simulation.runner import SimulationResult, run_simulation
+
+__all__ = ["ScalarSummary", "SeriesEnvelope", "ReplicatedResult", "replicate"]
+
+
+@dataclass(frozen=True)
+class ScalarSummary:
+    """Mean and normal-approximation confidence half-width of a scalar."""
+
+    mean: float
+    half_width: float
+    samples: tuple[float, ...]
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.half_width:.2f}"
+
+
+@dataclass(frozen=True)
+class SeriesEnvelope:
+    """Pointwise aggregate of one time series across replications."""
+
+    hours: tuple[float, ...]
+    mean: tuple[float, ...]
+    low: tuple[float, ...]
+    high: tuple[float, ...]
+
+    def mean_series(self) -> list[SeriesPoint]:
+        """The mean curve as a plottable series."""
+        return [SeriesPoint(h, v) for h, v in zip(self.hours, self.mean)]
+
+
+@dataclass
+class ReplicatedResult:
+    """Everything a k-seed replication produced."""
+
+    config: SimulationConfig
+    seeds: tuple[int, ...]
+    results: tuple[SimulationResult, ...]
+
+    # ------------------------------------------------------------------
+    def scalar(
+        self, extract: Callable[[SimulationResult], float]
+    ) -> ScalarSummary:
+        """Aggregate any per-run scalar across the replications."""
+        values = [extract(result) for result in self.results]
+        mean, half = mean_confidence_interval(values)
+        return ScalarSummary(mean=mean, half_width=half, samples=tuple(values))
+
+    def final_capacity(self) -> ScalarSummary:
+        """Final Figure-4 capacity across seeds."""
+        return self.scalar(lambda r: r.metrics.final_capacity())
+
+    def rejections_of_class(self, peer_class: int) -> ScalarSummary:
+        """Table-1 entry for one class across seeds."""
+        return self.scalar(
+            lambda r: r.metrics.mean_rejections_before_admission()[peer_class]
+        )
+
+    def delay_of_class(self, peer_class: int) -> ScalarSummary:
+        """Figure-6 endpoint for one class across seeds."""
+        return self.scalar(
+            lambda r: r.metrics.mean_buffering_delay_slots()[peer_class]
+        )
+
+    def capacity_envelope(self, step_hours: float = 6.0) -> SeriesEnvelope:
+        """Pointwise capacity envelope on a common hourly grid."""
+        horizon_hours = self.config.horizon_seconds / 3600.0
+        hours = []
+        hour = 0.0
+        while hour <= horizon_hours:
+            hours.append(hour)
+            hour += step_hours
+        columns = [
+            [
+                value_at_hour(result.metrics.capacity_series, h, default=0.0)
+                for result in self.results
+            ]
+            for h in hours
+        ]
+        return SeriesEnvelope(
+            hours=tuple(hours),
+            mean=tuple(sum(col) / len(col) for col in columns),
+            low=tuple(min(col) for col in columns),
+            high=tuple(max(col) for col in columns),
+        )
+
+
+def replicate(
+    config: SimulationConfig,
+    replications: int = 5,
+    seed_stride: int = 1,
+) -> ReplicatedResult:
+    """Run ``config`` under ``replications`` derived master seeds.
+
+    Seeds are ``master_seed + i * seed_stride`` so replications are
+    reproducible and disjoint; every other parameter is shared.
+    """
+    if replications < 1:
+        raise ValueError(f"need at least one replication, got {replications}")
+    seeds = tuple(
+        config.master_seed + i * seed_stride for i in range(replications)
+    )
+    results = tuple(
+        run_simulation(config.replace(master_seed=seed)) for seed in seeds
+    )
+    return ReplicatedResult(config=config, seeds=seeds, results=results)

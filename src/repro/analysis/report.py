@@ -1,0 +1,266 @@
+"""Renderers that print each paper table/figure from simulation results.
+
+Every function returns a string containing the same rows/series the paper
+reports — a table for Table 1, an ASCII chart plus sampled values for each
+figure.  The benchmark harness calls these and checks the qualitative
+claims; EXPERIMENTS.md records paper-vs-measured values produced here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.plots import ascii_chart, render_table
+from repro.analysis.stats import align_series, value_at_hour, windowed_mean
+from repro.core.assignment import (
+    contiguous_assignment,
+    ots_assignment,
+    sweep_assignment,
+)
+from repro.core.model import ClassLadder, SupplierOffer
+from repro.core.schedule import min_start_delay_slots
+from repro.simulation.runner import SimulationResult
+
+__all__ = [
+    "figure1_report",
+    "figure4_report",
+    "figure5_report",
+    "figure6_report",
+    "table1_report",
+    "figure7_report",
+    "figure8_report",
+    "figure9_report",
+    "sample_hours",
+]
+
+
+def sample_hours(horizon_hours: float = 144.0, step: float = 12.0) -> list[float]:
+    """Canonical hours at which reports tabulate time series."""
+    hours = [0.0]
+    hour = step
+    while hour <= horizon_hours:
+        hours.append(hour)
+        hour += step
+    return hours
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — media data assignments and their buffering delays
+# ----------------------------------------------------------------------
+def figure1_report(ladder: ClassLadder | None = None) -> str:
+    """The paper's Figure 1: Assignment I vs Assignment II (OTS_p2p).
+
+    Four suppliers of classes 1, 2, 3, 3 — contiguous assignment needs a
+    5-slot buffering delay, OTS_p2p only 4 (= the number of suppliers).
+    """
+    ladder = ladder or ClassLadder(4)
+    offers = [
+        SupplierOffer(1, 1, ladder.offer_units(1)),
+        SupplierOffer(2, 2, ladder.offer_units(2)),
+        SupplierOffer(3, 3, ladder.offer_units(3)),
+        SupplierOffer(4, 3, ladder.offer_units(3)),
+    ]
+    contiguous = contiguous_assignment(offers, ladder)
+    paper_sweep = sweep_assignment(offers, ladder)
+    optimal = ots_assignment(offers, ladder)
+    lines = [
+        "Figure 1 — different media data assignments, different buffering delay",
+        "",
+        "(a) Assignment I (contiguous blocks):",
+        contiguous.describe(),
+        f"    buffering delay: {min_start_delay_slots(contiguous)} x dt   (paper: 5 x dt)",
+        "",
+        "(b) Assignment II (the paper's Figure-2 sweep):",
+        paper_sweep.describe(),
+        f"    buffering delay: {min_start_delay_slots(paper_sweep)} x dt   (paper: 4 x dt)",
+        "",
+        "(c) OTS_p2p sorted matching (optimal on every input):",
+        optimal.describe(),
+        f"    buffering delay: {min_start_delay_slots(optimal)} x dt   "
+        f"(Theorem 1: n x dt = 4 x dt)",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — system capacity amplification
+# ----------------------------------------------------------------------
+def figure4_report(
+    results: dict[str, SimulationResult], pattern: int, hours: Sequence[float] | None = None
+) -> str:
+    """Capacity-vs-time chart and samples, DAC vs NDAC, one pattern."""
+    hours = list(hours) if hours is not None else sample_hours()
+    series = {name: result.metrics.capacity_series for name, result in results.items()}
+    chart = ascii_chart(
+        series,
+        title=f"Figure 4 — system capacity amplification (arrival pattern {pattern})",
+        y_label="sessions",
+    )
+    aligned = align_series(series, hours)
+    rows = [
+        [f"{hour:.0f}h"] + [f"{aligned[name][i]:.0f}" for name in series]
+        for i, hour in enumerate(hours)
+    ]
+    table = render_table(["hour"] + list(series), rows)
+    footer = "\n".join(
+        f"  {name}: final capacity {result.metrics.final_capacity():.0f} of "
+        f"{result.max_capacity} max ({100 * result.capacity_fraction_of_max:.1f}%)"
+        for name, result in results.items()
+    )
+    return f"{chart}\n\n{table}\n{footer}"
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — per-class accumulative admission rate
+# ----------------------------------------------------------------------
+def figure5_report(result: SimulationResult, label: str) -> str:
+    """Per-class cumulative admission rate chart for one protocol run."""
+    series = {
+        f"class {c}": points
+        for c, points in result.metrics.admission_rate_series.items()
+    }
+    chart = ascii_chart(
+        series,
+        title=f"Figure 5 — per-class accumulative admission rate (%), {label}",
+        y_label="%",
+    )
+    final = result.metrics.admission_rate_percent()
+    footer = "  final: " + "  ".join(
+        f"class {c}: {final[c]:.1f}%" for c in sorted(final)
+    )
+    return f"{chart}\n{footer}"
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — per-class accumulative average buffering delay
+# ----------------------------------------------------------------------
+def figure6_report(result: SimulationResult, label: str) -> str:
+    """Per-class cumulative mean buffering delay chart for one run."""
+    series = {
+        f"class {c}": points
+        for c, points in result.metrics.buffering_delay_series.items()
+    }
+    chart = ascii_chart(
+        series,
+        title=f"Figure 6 — per-class accumulative avg buffering delay (x dt), {label}",
+        y_label="x dt",
+    )
+    final = result.metrics.mean_buffering_delay_slots()
+    footer = "  final: " + "  ".join(
+        f"class {c}: {final[c]:.2f}" for c in sorted(final)
+    )
+    return f"{chart}\n{footer}"
+
+
+# ----------------------------------------------------------------------
+# Table 1 — per-class average rejections before admission
+# ----------------------------------------------------------------------
+def table1_report(
+    results: dict[tuple[str, int], SimulationResult],
+    paper_values: dict[tuple[int, int], tuple[float, float]] | None = None,
+) -> str:
+    """The paper's Table 1: 'DAC/NDAC' per class, per arrival pattern.
+
+    ``results`` is keyed by ``(protocol, pattern)``; ``paper_values`` (keyed
+    by ``(class, pattern)``) adds the published numbers for side-by-side
+    comparison.
+    """
+    patterns = sorted({pattern for _protocol, pattern in results})
+    classes = sorted(
+        next(iter(results.values())).metrics.mean_rejections_before_admission()
+    )
+    headers = ["Avg. rejections"] + [f"Pattern {p}" for p in patterns]
+    if paper_values:
+        headers += [f"paper P{p}" for p in patterns]
+    rows = []
+    for peer_class in classes:
+        row: list[object] = [f"Class {peer_class}"]
+        for pattern in patterns:
+            dac = results[("dac", pattern)].metrics.mean_rejections_before_admission()
+            ndac = results[("ndac", pattern)].metrics.mean_rejections_before_admission()
+            row.append(f"{dac[peer_class]:.2f}/{ndac[peer_class]:.2f}")
+        if paper_values:
+            for pattern in patterns:
+                paper_dac, paper_ndac = paper_values.get(
+                    (peer_class, pattern), (float("nan"), float("nan"))
+                )
+                row.append(f"{paper_dac:.2f}/{paper_ndac:.2f}")
+        rows.append(row)
+    return render_table(
+        headers,
+        rows,
+        title="Table 1 — per-class average rejections before admission (DAC/NDAC)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — adaptivity of differentiation
+# ----------------------------------------------------------------------
+def figure7_report(result: SimulationResult, window_hours: float = 3.0) -> str:
+    """Lowest favored requesting class per supplier class over time."""
+    series = {
+        f"class {c}": windowed_mean(points, window_hours)
+        for c, points in result.metrics.favored_series.items()
+        if points
+    }
+    chart = ascii_chart(
+        series,
+        title=(
+            "Figure 7 — lowest favored class of requesting peers, by supplier "
+            f"class ({window_hours:.0f}h windows, pattern "
+            f"{result.config.arrival_pattern})"
+        ),
+        y_label="lowest favored class",
+    )
+    return chart
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — impact of M and T_out on capacity growth
+# ----------------------------------------------------------------------
+def figure8_report(
+    sweep: dict[object, SimulationResult],
+    parameter_label: str,
+    hours: Sequence[float] | None = None,
+) -> str:
+    """Capacity curves for a parameter sweep (Figures 8(a) and 8(b))."""
+    hours = list(hours) if hours is not None else sample_hours()
+    series = {
+        f"{parameter_label}={value}": result.metrics.capacity_series
+        for value, result in sweep.items()
+    }
+    chart = ascii_chart(
+        series,
+        title=f"Figure 8 — impact of {parameter_label} on capacity amplification",
+        y_label="sessions",
+    )
+    aligned = align_series(series, hours)
+    rows = [
+        [f"{hour:.0f}h"] + [f"{aligned[name][i]:.0f}" for name in series]
+        for i, hour in enumerate(hours)
+    ]
+    return chart + "\n\n" + render_table(["hour"] + list(series), rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — impact of the backoff factor on overall admission rate
+# ----------------------------------------------------------------------
+def figure9_report(
+    sweep: dict[object, SimulationResult], hours: Sequence[float] | None = None
+) -> str:
+    """Overall cumulative admission rate for each backoff factor."""
+    hours = list(hours) if hours is not None else sample_hours()
+    series = {
+        f"E_bkf={value:g}": result.metrics.overall_admission_rate_series
+        for value, result in sweep.items()
+    }
+    chart = ascii_chart(
+        series,
+        title="Figure 9 — impact of E_bkf on overall request admission rate",
+        y_label="%",
+    )
+    rows = []
+    for value, result in sweep.items():
+        final = value_at_hour(result.metrics.overall_admission_rate_series, hours[-1])
+        rows.append([f"E_bkf={value:g}", f"{final:.1f}%"])
+    return chart + "\n\n" + render_table(["setting", "final admission rate"], rows)

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    One simulation run; prints the summary and (optionally) figure reports.
+``compare``
+    DAC vs NDAC under one pattern; prints Figure 4/5/6 style output.
+``sweep``
+    Parameter sweep (M, T_out, E_bkf, …) printing Figure 8/9 style output.
+``assignment``
+    OTS_p2p vs baselines on a supplier set given as classes, e.g.
+    ``repro-p2pstream assignment 1 2 3 3``.
+``patterns``
+    Show the four arrival patterns as ASCII histograms.
+
+Every command accepts ``--scale`` so full paper scale (1.0) or quick runs
+(0.05) are one flag away.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import report
+from repro.analysis.plots import ascii_chart, render_table
+from repro.core.assignment import (
+    contiguous_assignment,
+    ots_assignment,
+    round_robin_assignment,
+)
+from repro.core.model import ClassLadder, SupplierOffer
+from repro.core.schedule import min_start_delay_slots
+from repro.errors import P2PStreamError
+from repro.simulation.arrivals import arrivals_per_bin, generate_arrival_times, make_pattern
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import SeriesPoint
+from repro.simulation.runner import compare_protocols, run_simulation, sweep_parameter
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-p2pstream",
+        description="Reproduction of 'On Peer-to-Peer Media Streaming' (ICDCS 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", type=float, default=0.1,
+                       help="population scale (1.0 = paper's 50,100 peers)")
+        p.add_argument("--pattern", type=int, default=2, choices=[1, 2, 3, 4],
+                       help="first-request arrival pattern")
+        p.add_argument("--seed", type=int, default=None, help="master RNG seed")
+        p.add_argument("--lookup", choices=["directory", "chord"], default="directory")
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    add_common(run_p)
+    run_p.add_argument("--protocol", default="dac",
+                       help="admission policy name (dac, ndac, dac-no-reminder, ...)")
+    run_p.add_argument("--figures", action="store_true",
+                       help="print Figure 5/6/7 reports for the run")
+
+    cmp_p = sub.add_parser("compare", help="DAC vs NDAC comparison")
+    add_common(cmp_p)
+
+    sweep_p = sub.add_parser("sweep", help="parameter sweep")
+    add_common(sweep_p)
+    sweep_p.add_argument("parameter",
+                         choices=["probe_candidates", "t_out_seconds", "e_bkf"])
+    sweep_p.add_argument("values", nargs="+", type=float, help="values to sweep")
+
+    asg_p = sub.add_parser("assignment", help="compare assignment algorithms")
+    asg_p.add_argument("classes", nargs="+", type=int,
+                       help="supplier classes (offers must sum to R0), e.g. 1 2 3 3")
+    asg_p.add_argument("--num-classes", type=int, default=4)
+
+    pat_p = sub.add_parser("patterns", help="show the arrival patterns")
+    pat_p.add_argument("--peers", type=int, default=5000)
+    pat_p.add_argument("--window-hours", type=float, default=72.0)
+
+    exp_p = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure by id"
+    )
+    add_common(exp_p)
+    exp_p.add_argument("experiment_id", nargs="?", default=None,
+                       help="experiment id (fig1, fig4, ..., table1); omit to list")
+
+    return parser
+
+
+def _make_config(args: argparse.Namespace, **extra: object) -> SimulationConfig:
+    config = SimulationConfig(arrival_pattern=args.pattern, lookup=args.lookup, **extra)
+    if args.seed is not None:
+        config = config.replace(master_seed=args.seed)
+    return config.scaled(args.scale)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _make_config(args, protocol=args.protocol)
+    print(config.describe())
+    result = run_simulation(config)
+    print(result.summary())
+    rejections = result.metrics.mean_rejections_before_admission()
+    delays = result.metrics.mean_buffering_delay_slots()
+    rows = [
+        [f"class {c}", f"{rejections[c]:.2f}", f"{delays[c]:.2f}"]
+        for c in sorted(rejections)
+    ]
+    print(render_table(["", "avg rejections", "avg delay (x dt)"], rows))
+    if args.figures:
+        print()
+        print(report.figure5_report(result, label=config.protocol))
+        print()
+        print(report.figure6_report(result, label=config.protocol))
+        print()
+        print(report.figure7_report(result))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _make_config(args)
+    print(config.describe())
+    results = compare_protocols(config)
+    print(report.figure4_report(results, pattern=args.pattern))
+    print()
+    print(report.table1_report({(name, args.pattern): r for name, r in results.items()}))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _make_config(args)
+    values: list[object] = [
+        int(v) if args.parameter == "probe_candidates" else v for v in args.values
+    ]
+    results = sweep_parameter(config, args.parameter, values)
+    if args.parameter == "e_bkf":
+        print(report.figure9_report(results))
+    else:
+        label = {"probe_candidates": "M", "t_out_seconds": "T_out"}[args.parameter]
+        print(report.figure8_report(results, parameter_label=label))
+    return 0
+
+
+def _cmd_assignment(args: argparse.Namespace) -> int:
+    ladder = ClassLadder(args.num_classes)
+    offers = [
+        SupplierOffer(peer_id=i + 1, peer_class=c, units=ladder.offer_units(c))
+        for i, c in enumerate(args.classes)
+    ]
+    for name, algorithm in (
+        ("OTS_p2p (optimal)", ots_assignment),
+        ("contiguous (Assignment I)", contiguous_assignment),
+        ("round robin", round_robin_assignment),
+    ):
+        assignment = algorithm(offers, ladder)
+        print(f"{name}: buffering delay {min_start_delay_slots(assignment)} x dt")
+        print(assignment.describe())
+        print()
+    return 0
+
+
+def _cmd_patterns(args: argparse.Namespace) -> int:
+    window = args.window_hours * 3600.0
+    for pattern_id in (1, 2, 3, 4):
+        pattern = make_pattern(pattern_id, window)
+        times = generate_arrival_times(pattern, args.peers)
+        bins = arrivals_per_bin(times, 3600.0, window)
+        series = {
+            f"pattern {pattern_id}": [
+                SeriesPoint(hour=float(h), value=float(v)) for h, v in enumerate(bins)
+            ]
+        }
+        print(ascii_chart(series, title=f"Arrival pattern {pattern_id}",
+                          y_label="arrivals/hour", height=10))
+        print()
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import list_experiments, run_experiment
+
+    if args.experiment_id is None:
+        print("available experiments:")
+        print(list_experiments())
+        return 0
+    config = _make_config(args)
+    print(run_experiment(args.experiment_id, config))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
+    "assignment": _cmd_assignment,
+    "patterns": _cmd_patterns,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except P2PStreamError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Transmission schedules and buffering-delay evaluation (Section 3).
+
+Given a per-period :class:`~repro.core.assignment.Assignment`, every
+supplier transmits its assigned segments in increasing segment order,
+back-to-back, at its offered rate, starting the moment the session begins
+(time 0).  Because a class-``i`` supplier needs ``2**i`` slots per segment
+and carries ``2**(L-i)`` segments per ``2**L``-slot period, each supplier's
+pipe is exactly full: period ``p``'s data occupies its link during slots
+``[p * 2**L, (p+1) * 2**L)``.
+
+This module computes, for any assignment:
+
+* the **arrival slot** of every segment (the slot at which its transmission
+  completes and it becomes playable),
+* the **minimum start delay** — the smallest playback start time (in slots)
+  that guarantees continuous playback, which *is* the buffering delay the
+  requesting peer experiences, and
+* a continuity verifier used by tests and by the playback-buffer substrate.
+
+All times are integers in units of ``δt`` ("slots"); multiply by the media's
+``segment_seconds`` to convert to wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.core.assignment import Assignment
+from repro.errors import SchedulingError
+
+__all__ = [
+    "TransmissionSchedule",
+    "min_start_delay_slots",
+    "verify_continuous_playback",
+]
+
+
+@dataclass(frozen=True)
+class TransmissionSchedule:
+    """Arrival times of media segments under a given assignment.
+
+    The schedule is periodic: segment ``s`` in period ``p`` arrives exactly
+    ``p * period_len`` slots after its period-0 twin.  We therefore only
+    store per-period-local arrival offsets and answer queries for arbitrary
+    global segment indices arithmetically.
+    """
+
+    assignment: Assignment
+    #: ``local_arrival[s]`` = arrival slot of period-local segment ``s`` in period 0.
+    local_arrival: tuple[int, ...]
+
+    @classmethod
+    def from_assignment(cls, assignment: Assignment) -> "TransmissionSchedule":
+        """Build the schedule implied by ``assignment``.
+
+        For each supplier, its assigned segments (in increasing order) finish
+        transmission at ``(q + 1) * 2**class`` slots into the period, where
+        ``q`` is the segment's rank within the supplier's list.
+        """
+        arrival = [0] * assignment.period_len
+        for supplier, segments in zip(assignment.suppliers, assignment.segment_lists):
+            per_segment = 1 << supplier.peer_class
+            for rank, local_index in enumerate(segments):
+                arrival[local_index] = (rank + 1) * per_segment
+        for local_index, slot in enumerate(arrival):
+            if slot <= 0:
+                raise SchedulingError(
+                    f"segment {local_index} has no arrival time; assignment "
+                    "does not cover the period"
+                )
+        return cls(assignment=assignment, local_arrival=tuple(arrival))
+
+    @property
+    def period_len(self) -> int:
+        """Number of segments (= slots) per period."""
+        return self.assignment.period_len
+
+    def arrival_slot(self, segment: int) -> int:
+        """Arrival slot of *global* segment index ``segment`` (0-based)."""
+        if segment < 0:
+            raise SchedulingError(f"segment index must be >= 0, got {segment}")
+        period, local = divmod(segment, self.period_len)
+        return period * self.period_len + self.local_arrival[local]
+
+    def arrivals(self, num_segments: int) -> Iterator[tuple[int, int]]:
+        """Yield ``(segment, arrival_slot)`` for the first ``num_segments``."""
+        for segment in range(num_segments):
+            yield segment, self.arrival_slot(segment)
+
+    def slack(self, segment: int, start_delay: int) -> int:
+        """Slots between a segment's arrival and its playback deadline.
+
+        With playback starting at slot ``start_delay``, segment ``s`` is
+        consumed during slot ``start_delay + s``; a non-negative slack means
+        the segment arrives in time.
+        """
+        return (start_delay + segment) - self.arrival_slot(segment)
+
+
+def min_start_delay_slots(assignment: Assignment) -> int:
+    """Minimum buffering delay (in slots) achievable under ``assignment``.
+
+    Continuous playback starting at slot ``d`` requires
+    ``arrival(s) <= d + s`` for every segment ``s``, hence
+    ``d = max_s (arrival(s) - s)``.  Periodicity makes the first period the
+    binding one: period ``p`` adds ``p * period_len`` to both sides.
+    """
+    schedule = TransmissionSchedule.from_assignment(assignment)
+    return max(
+        schedule.local_arrival[s] - s for s in range(assignment.period_len)
+    )
+
+
+def verify_continuous_playback(
+    assignment: Assignment, start_delay: int, num_segments: int | None = None
+) -> bool:
+    """Check that playback starting at slot ``start_delay`` never stalls.
+
+    Parameters
+    ----------
+    assignment:
+        The per-period media-data assignment.
+    start_delay:
+        Candidate buffering delay in slots.
+    num_segments:
+        How many segments to verify explicitly.  Defaults to three periods,
+        which (with the periodicity argument above) is already redundant —
+        but tests use larger horizons as belt-and-braces.
+    """
+    schedule = TransmissionSchedule.from_assignment(assignment)
+    horizon = num_segments if num_segments is not None else 3 * assignment.period_len
+    return all(
+        schedule.slack(segment, start_delay) >= 0 for segment in range(horizon)
+    )

@@ -1,0 +1,80 @@
+"""Segment-geometry arithmetic shared by assignment and scheduling.
+
+The media file is CBR and cut into equal segments of playback duration
+``δt`` (one *slot*).  For a supplier set whose lowest class is ``L``, the
+OTS_p2p assignment covers one *period* of ``2**L`` segments and then repeats
+(Section 3).  Within a period, a class-``i`` supplier carries a quota of
+``2**(L - i)`` segments, and each of its segments takes ``2**i`` slots to
+transmit — so every supplier is busy for exactly the whole period.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.model import ClassLadder, SupplierOffer
+from repro.errors import AssignmentError, InfeasibleSessionError
+
+__all__ = [
+    "lowest_class",
+    "period_segments",
+    "quota",
+    "check_feasible",
+    "segments_in_period",
+]
+
+
+def lowest_class(offers: Sequence[SupplierOffer]) -> int:
+    """Numerically largest (i.e. lowest) class among the supplier offers."""
+    if not offers:
+        raise AssignmentError("supplier set is empty")
+    return max(offer.peer_class for offer in offers)
+
+
+def period_segments(lowest: int) -> int:
+    """Number of segments per assignment period: ``2**L`` for lowest class L."""
+    if lowest < 1:
+        raise AssignmentError(f"lowest class must be >= 1, got {lowest}")
+    return 1 << lowest
+
+
+def quota(peer_class: int, lowest: int) -> int:
+    """Per-period segment quota of a class-``i`` supplier: ``2**(L - i)``.
+
+    The quota is proportional to the supplier's bandwidth: it can transmit
+    exactly this many segments during one period of ``2**L`` slots.
+    """
+    if peer_class > lowest:
+        raise AssignmentError(
+            f"class {peer_class} is lower than the period's lowest class {lowest}"
+        )
+    return 1 << (lowest - peer_class)
+
+
+def check_feasible(offers: Sequence[SupplierOffer], ladder: ClassLadder) -> None:
+    """Validate the paper's session feasibility condition.
+
+    A peer-to-peer streaming session requires the aggregated out-bound offer
+    of its suppliers to equal the playback rate ``R0`` exactly.  Raises
+    :class:`InfeasibleSessionError` otherwise.
+    """
+    total = sum(offer.units for offer in offers)
+    if total != ladder.full_rate_units:
+        raise InfeasibleSessionError(
+            f"supplier offers sum to {total} units; a session needs exactly "
+            f"{ladder.full_rate_units} units (R0)"
+        )
+    for offer in offers:
+        if ladder.offer_units(offer.peer_class) != offer.units:
+            raise InfeasibleSessionError(
+                f"offer of peer {offer.peer_id} ({offer.units} units) does not "
+                f"match its class {offer.peer_class}"
+            )
+
+
+def segments_in_period(period_index: int, period_len: int) -> range:
+    """Global segment indices covered by the ``period_index``-th period."""
+    if period_index < 0:
+        raise AssignmentError(f"period index must be >= 0, got {period_index}")
+    start = period_index * period_len
+    return range(start, start + period_len)

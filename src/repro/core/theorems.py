@@ -1,0 +1,106 @@
+"""Theorem 1 of the paper, plus a brute-force oracle used to test it.
+
+Theorem 1 states: given ``n`` supplying peers whose offers sum to ``R0``,
+Algorithm OTS_p2p computes an assignment achieving the minimum buffering
+delay, and that minimum equals ``n · δt``.
+
+:func:`theorem1_min_delay_slots` is the closed form.  The brute-force oracle
+:func:`brute_force_min_delay_slots` enumerates *every* quota-respecting
+assignment of one period and minimizes the buffering delay directly; the
+test suite (including hypothesis property tests) checks
+
+``ots delay == theorem1 == brute force``
+
+on randomly drawn supplier sets, which is the strongest executable statement
+of the theorem this reproduction can make.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core import segments as seg
+from repro.core.assignment import Assignment
+from repro.core.model import ClassLadder, SupplierOffer, sort_offers_descending
+from repro.core.schedule import min_start_delay_slots
+from repro.errors import AssignmentError
+
+__all__ = [
+    "theorem1_min_delay_slots",
+    "brute_force_min_delay_slots",
+    "assignment_is_optimal",
+]
+
+
+def theorem1_min_delay_slots(num_suppliers: int) -> int:
+    """Closed-form minimum buffering delay: ``n`` slots for ``n`` suppliers."""
+    if num_suppliers < 1:
+        raise AssignmentError(
+            f"a session needs at least one supplier, got {num_suppliers}"
+        )
+    return num_suppliers
+
+
+def brute_force_min_delay_slots(
+    offers: Sequence[SupplierOffer],
+    ladder: ClassLadder | None = None,
+    max_period: int = 64,
+) -> int:
+    """Minimum buffering delay over *all* quota-respecting assignments.
+
+    Enumerates every way of giving each supplier its quota of period
+    segments (a multiset permutation of supplier labels over the period) and
+    returns the smallest ``min_start_delay_slots``.  Exponential — guarded by
+    ``max_period`` — and intended only for tests on small supplier sets.
+    """
+    ladder = ladder or ClassLadder()
+    seg.check_feasible(offers, ladder)
+    ordered = sort_offers_descending(list(offers))
+    lowest = seg.lowest_class(ordered)
+    period_len = seg.period_segments(lowest)
+    if period_len > max_period:
+        raise AssignmentError(
+            f"brute force refuses period of {period_len} segments "
+            f"(limit {max_period}); use the closed form instead"
+        )
+    quotas = [seg.quota(offer.peer_class, lowest) for offer in ordered]
+
+    best = None
+    buckets: list[list[int]] = [[] for _ in ordered]
+
+    def place(segment: int, remaining: list[int]) -> None:
+        nonlocal best
+        if segment == period_len:
+            assignment = Assignment(
+                suppliers=tuple(ordered),
+                period_len=period_len,
+                segment_lists=tuple(tuple(b) for b in buckets),
+                algorithm="brute",
+            )
+            delay = min_start_delay_slots(assignment)
+            if best is None or delay < best:
+                best = delay
+            return
+        # Prune: an assignment can never beat the theorem's bound, so stop
+        # exploring once the bound has been met.
+        if best == len(ordered):
+            return
+        for j in range(len(ordered)):
+            if remaining[j] > 0:
+                remaining[j] -= 1
+                buckets[j].append(segment)
+                place(segment + 1, remaining)
+                buckets[j].pop()
+                remaining[j] += 1
+
+    place(0, quotas)
+    if best is None:
+        raise AssignmentError("no feasible assignment found by brute force")
+    return best
+
+
+def assignment_is_optimal(assignment: Assignment) -> bool:
+    """True when ``assignment`` achieves the Theorem-1 minimum delay."""
+    return min_start_delay_slots(assignment) == theorem1_min_delay_slots(
+        assignment.num_suppliers
+    )

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`P2PStreamError`, so applications can catch library failures with a
+single ``except`` clause while still letting programming errors (e.g.
+``TypeError``) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "P2PStreamError",
+    "ConfigurationError",
+    "ClassLadderError",
+    "AssignmentError",
+    "InfeasibleSessionError",
+    "CapacityError",
+    "SchedulingError",
+    "LookupError_",
+    "SimulationError",
+    "TraceError",
+]
+
+
+class P2PStreamError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(P2PStreamError):
+    """A configuration value is missing, out of range, or inconsistent."""
+
+
+class ClassLadderError(ConfigurationError):
+    """A peer class index is outside the configured bandwidth ladder."""
+
+
+class AssignmentError(P2PStreamError):
+    """A media-data assignment request is malformed or cannot be computed."""
+
+
+class InfeasibleSessionError(AssignmentError):
+    """The supplier set cannot sustain a streaming session.
+
+    Raised when the aggregated out-bound bandwidth of the proposed supplying
+    peers does not equal the media playback rate ``R0``, which the paper's
+    model requires for a session to be feasible.
+    """
+
+
+class CapacityError(P2PStreamError):
+    """Capacity bookkeeping was asked to do something inconsistent."""
+
+
+class SchedulingError(P2PStreamError):
+    """A transmission schedule is internally inconsistent."""
+
+
+class LookupError_(P2PStreamError):
+    """A peer-to-peer lookup operation failed.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`LookupError`.
+    """
+
+
+class SimulationError(P2PStreamError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class TraceError(P2PStreamError):
+    """An event trace could not be written or parsed."""

@@ -1,0 +1,37 @@
+"""Peer-to-peer lookup substrate.
+
+The paper leaves candidate discovery to "some peer-to-peer lookup mechanism"
+(footnote 4) and names the two archetypes of its era: a centralized
+directory server (Napster) and a distributed lookup service (Chord).  This
+package implements both, behind a common :class:`~repro.network.lookup.LookupService`
+interface that the simulator consumes:
+
+* :mod:`repro.network.directory` — the Napster-style central directory;
+* :mod:`repro.network.chord` — a from-scratch Chord DHT (consistent-hash
+  ring, finger tables, iterative lookups) plus a supplier index on top;
+* :mod:`repro.network.topology` — latency models (constant, random
+  geometric graph) used by the transport;
+* :mod:`repro.network.transport` — a message-cost model that charges
+  latency for probes so experiments can account for signalling overhead.
+"""
+
+from repro.network.lookup import LookupService, DirectoryLookup, ChordLookup
+from repro.network.directory import CentralDirectory
+from repro.network.chord import ChordRing, ChordNode, SupplierIndex
+from repro.network.topology import ConstantLatency, GeometricLatency, LatencyModel
+from repro.network.transport import Transport, MessageStats
+
+__all__ = [
+    "LookupService",
+    "DirectoryLookup",
+    "ChordLookup",
+    "CentralDirectory",
+    "ChordRing",
+    "ChordNode",
+    "SupplierIndex",
+    "LatencyModel",
+    "ConstantLatency",
+    "GeometricLatency",
+    "Transport",
+    "MessageStats",
+]

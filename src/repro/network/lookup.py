@@ -1,0 +1,125 @@
+"""Unified candidate-lookup interface over the directory and Chord substrates.
+
+The simulator only ever needs one operation: *give me up to M random
+candidate supplying peers (with classes) for this media*.  Both substrates
+provide it; the adapters below also charge the transport for the control
+messages each substrate would generate, so experiments can compare their
+signalling overhead (Ablation C in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.network.chord import ChordRing, SupplierIndex
+from repro.network.directory import CentralDirectory
+from repro.network.transport import Transport
+
+__all__ = ["LookupService", "DirectoryLookup", "ChordLookup"]
+
+
+class LookupService(Protocol):
+    """What the streaming system requires of a lookup substrate."""
+
+    def register_supplier(self, media_id: str, peer_id: int, peer_class: int) -> None:
+        """Publish a new supplying peer."""
+        ...
+
+    def unregister_supplier(self, media_id: str, peer_id: int) -> None:
+        """Withdraw a supplying peer (churn)."""
+        ...
+
+    def candidates(
+        self, media_id: str, count: int, requester_id: int, rng: random.Random
+    ) -> list[tuple[int, int]]:
+        """Up to ``count`` random ``(peer_id, peer_class)`` candidates."""
+        ...
+
+
+class DirectoryLookup:
+    """Napster-style lookup: one round trip to a central directory."""
+
+    #: peer id used to represent the directory server in latency accounting
+    DIRECTORY_PEER_ID = -1
+
+    def __init__(self, transport: Transport | None = None) -> None:
+        self.directory = CentralDirectory()
+        self.transport = transport
+
+    def register_supplier(self, media_id: str, peer_id: int, peer_class: int) -> None:
+        """Register with the central directory (one control message)."""
+        if self.transport is not None:
+            self.transport.send("lookup", peer_id, self.DIRECTORY_PEER_ID)
+        self.directory.register(media_id, peer_id, peer_class)
+
+    def unregister_supplier(self, media_id: str, peer_id: int) -> None:
+        """Unregister from the central directory."""
+        if self.transport is not None:
+            self.transport.send("lookup", peer_id, self.DIRECTORY_PEER_ID)
+        self.directory.unregister(media_id, peer_id)
+
+    def candidates(
+        self, media_id: str, count: int, requester_id: int, rng: random.Random
+    ) -> list[tuple[int, int]]:
+        """One query round trip, then uniform sampling at the server."""
+        if self.transport is not None:
+            self.transport.round_trip("lookup", requester_id, self.DIRECTORY_PEER_ID)
+        return self.directory.sample_candidates(media_id, count, rng)
+
+
+class ChordLookup:
+    """Chord-based lookup: candidates harvested from the supplier index.
+
+    ``node_peer_ids`` determines which peers host DHT nodes; by default the
+    seeds (or whoever is passed) form the ring and every supplier merely
+    *stores* its index entry, which matches deployments where only stable
+    peers serve as DHT infrastructure.
+    """
+
+    def __init__(
+        self,
+        node_peer_ids: list[int],
+        bits: int = 32,
+        transport: Transport | None = None,
+    ) -> None:
+        self.ring = ChordRing(bits=bits)
+        for peer_id in node_peer_ids:
+            self.ring.join(peer_id)
+        self.transport = transport
+        self._indexes: dict[str, SupplierIndex] = {}
+
+    def _index(self, media_id: str) -> SupplierIndex:
+        if media_id not in self._indexes:
+            self._indexes[media_id] = SupplierIndex(self.ring, media_id)
+        return self._indexes[media_id]
+
+    def _charge_hops(self, requester_id: int, hops_before: int) -> None:
+        if self.transport is None:
+            return
+        hops = self.ring.lookup_hops - hops_before
+        for _ in range(max(hops, 1)):
+            self.transport.send("dht_hop", requester_id, self.DIRECTORY_PEER_ID)
+
+    DIRECTORY_PEER_ID = -2  # distinct sink id for DHT-hop latency accounting
+
+    def register_supplier(self, media_id: str, peer_id: int, peer_class: int) -> None:
+        """Publish the supplier's index entry into the DHT."""
+        before = self.ring.lookup_hops
+        self._index(media_id).register(peer_id, peer_class)
+        self._charge_hops(peer_id, before)
+
+    def unregister_supplier(self, media_id: str, peer_id: int) -> None:
+        """Withdraw the supplier's index entry from the DHT."""
+        before = self.ring.lookup_hops
+        self._index(media_id).unregister(peer_id)
+        self._charge_hops(peer_id, before)
+
+    def candidates(
+        self, media_id: str, count: int, requester_id: int, rng: random.Random
+    ) -> list[tuple[int, int]]:
+        """Sample candidates by routing to random ring positions."""
+        before = self.ring.lookup_hops
+        result = self._index(media_id).sample_candidates(count, rng)
+        self._charge_hops(requester_id, before)
+        return result

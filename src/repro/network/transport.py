@@ -1,0 +1,105 @@
+"""Message-cost accounting for control traffic.
+
+The protocol's control messages (candidate probes, grants, reminders, DHT
+hops) are requests/responses that in a real deployment would each cost a
+round trip.  The simulator executes them synchronously — their latency is
+negligible against the paper's minutes-scale timers — but this transport
+records *what would have been sent*, so experiments can report signalling
+overhead (e.g. the probing-traffic cost of large ``M`` that the paper calls
+out in Section 5.2(6)).
+
+:class:`Transport` therefore does two things:
+
+* tallies per-message-kind counts and bytes into :class:`MessageStats`;
+* accumulates the latency a message *would* incur under the configured
+  :class:`~repro.network.topology.LatencyModel`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.network.topology import ConstantLatency, LatencyModel
+
+__all__ = ["MessageStats", "Transport"]
+
+#: Nominal control-message sizes in bytes, for overhead reporting.
+DEFAULT_MESSAGE_BYTES = {
+    "probe": 64,
+    "grant": 32,
+    "deny": 32,
+    "busy": 32,
+    "reminder": 48,
+    "session_start": 128,
+    "session_end": 32,
+    "lookup": 64,
+    "dht_hop": 64,
+}
+
+
+@dataclass
+class MessageStats:
+    """Aggregate control-traffic accounting."""
+
+    count_by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
+    total_latency_seconds: float = 0.0
+
+    @property
+    def total_messages(self) -> int:
+        """Total number of control messages recorded."""
+        return sum(self.count_by_kind.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total control bytes recorded."""
+        return sum(self.bytes_by_kind.values())
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict summary for metrics and reports."""
+        return {
+            "messages": self.total_messages,
+            "bytes": self.total_bytes,
+            "latency_seconds": self.total_latency_seconds,
+            **{f"count_{kind}": count for kind, count in sorted(self.count_by_kind.items())},
+        }
+
+
+class Transport:
+    """Synchronous message layer with cost accounting.
+
+    Parameters
+    ----------
+    latency:
+        Model pricing each one-way message; defaults to a small constant.
+    message_bytes:
+        Mapping of message kind to nominal size; unknown kinds count as 64 B.
+    """
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        message_bytes: dict[str, int] | None = None,
+    ) -> None:
+        self.latency = latency if latency is not None else ConstantLatency()
+        self.message_bytes = dict(DEFAULT_MESSAGE_BYTES)
+        if message_bytes:
+            self.message_bytes.update(message_bytes)
+        self.stats = MessageStats()
+
+    def send(self, kind: str, src: int, dst: int) -> float:
+        """Record a one-way message; returns the latency it would incur."""
+        delay = self.latency.one_way_seconds(src, dst)
+        self.stats.count_by_kind[kind] += 1
+        self.stats.bytes_by_kind[kind] += self.message_bytes.get(kind, 64)
+        self.stats.total_latency_seconds += delay
+        return delay
+
+    def round_trip(self, kind: str, src: int, dst: int) -> float:
+        """Record a request/response pair; returns the round-trip latency."""
+        return self.send(kind, src, dst) + self.send(kind + "_reply", dst, src)
+
+    def reset(self) -> None:
+        """Clear all recorded statistics."""
+        self.stats = MessageStats()

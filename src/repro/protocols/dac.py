@@ -1,0 +1,30 @@
+"""DAC_p2p — the paper's differentiated admission control protocol.
+
+The per-supplier state is exactly
+:class:`repro.core.admission.SupplierAdmissionState`; this module only
+stamps the feature flags (reminders on, idle elevation on) and registers the
+policy under the name ``"dac"``.
+"""
+
+from __future__ import annotations
+
+from repro.core.admission import SupplierAdmissionState
+from repro.core.model import ClassLadder
+from repro.protocols.base import AdmissionPolicy, register_policy
+
+__all__ = ["DacPolicy"]
+
+
+@register_policy
+class DacPolicy(AdmissionPolicy):
+    """The paper's Protocol DAC_p2p (Section 4)."""
+
+    name = "dac"
+    uses_reminders = True
+    uses_idle_elevation = True
+
+    def make_supplier_state(
+        self, own_class: int, ladder: ClassLadder
+    ) -> SupplierAdmissionState:
+        """Differentiated initial vector, full relax/tighten dynamics."""
+        return SupplierAdmissionState(own_class=own_class, ladder=ladder)

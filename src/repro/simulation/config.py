@@ -1,0 +1,192 @@
+"""Simulation configuration with the paper's Section 5.1 defaults.
+
+One frozen dataclass holds every knob of the evaluation; the defaults are
+exactly the paper's setup:
+
+* 50,100 peers — 100 class-1 "seed" suppliers and 50,000 requesting peers
+  distributed 10 / 10 / 40 / 40 % over classes 1–4;
+* a 60-minute video;
+* ``M = 8`` probed candidates, ``T_out = 20 min`` idle elevation period,
+  ``T_bkf = 10 min`` base backoff, ``E_bkf = 2`` backoff exponent;
+* a 144-hour horizon with all first requests arriving in the first 72 hours.
+
+:meth:`SimulationConfig.scaled` shrinks the population (keeping the class
+mix and the seed:requester ratio) so benchmarks can run the whole harness at
+1/10 scale by default — every reported curve keeps its shape because the
+dynamics depend on supply/demand *ratios*, not absolute counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.core.model import ClassLadder
+from repro.errors import ConfigurationError
+from repro.streaming.media import MediaFile
+
+__all__ = ["SimulationConfig", "PAPER_CLASS_SHARES"]
+
+MINUTE = 60.0
+HOUR = 3600.0
+
+#: Paper: requesting peers are 10% class 1, 10% class 2, 40% class 3, 40% class 4.
+PAPER_CLASS_SHARES: dict[int, float] = {1: 0.10, 2: 0.10, 3: 0.40, 4: 0.40}
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Full description of one simulation run (paper defaults)."""
+
+    # ----- population -------------------------------------------------
+    #: per-class counts of seed supplying peers (paper: 100 class-1 seeds)
+    seed_suppliers: dict[int, int] = field(default_factory=lambda: {1: 100})
+    #: per-class counts of requesting peers (paper: 5000/5000/20000/20000)
+    requesting_peers: dict[int, int] = field(
+        default_factory=lambda: {1: 5000, 2: 5000, 3: 20000, 4: 20000}
+    )
+    num_classes: int = 4
+
+    # ----- media -------------------------------------------------------
+    show_seconds: float = 60 * MINUTE
+    segment_seconds: float = 5.0
+
+    # ----- protocol parameters (paper Section 5.1) ----------------------
+    #: name of the admission policy ("dac", "ndac", or a variant)
+    protocol: str = "dac"
+    #: number of candidate suppliers probed per request (M)
+    probe_candidates: int = 8
+    #: idle elevation period T_out
+    t_out_seconds: float = 20 * MINUTE
+    #: base backoff T_bkf
+    t_bkf_seconds: float = 10 * MINUTE
+    #: backoff exponential factor E_bkf
+    e_bkf: float = 2.0
+
+    # ----- workload ------------------------------------------------------
+    #: arrival pattern id, 1..4 (paper Section 5.1)
+    arrival_pattern: int = 2
+    #: window during which all first requests arrive (paper: 72 h)
+    arrival_window_seconds: float = 72 * HOUR
+    #: total simulated horizon (paper: 144 h)
+    horizon_seconds: float = 144 * HOUR
+    #: place first-request times deterministically (inverse CDF) or Poisson
+    deterministic_arrivals: bool = True
+
+    # ----- substrates ----------------------------------------------------
+    #: "directory" (Napster-style) or "chord"
+    lookup: str = "directory"
+    #: probability that a probed candidate is down (0 = paper behaviour)
+    down_probability: float = 0.0
+    #: record control-message statistics
+    track_messages: bool = True
+    #: mean online time of a supplier before it departs (None = never, the
+    #: paper's model); departures are graceful — a busy supplier finishes
+    #: its current session first
+    supplier_mean_online_seconds: float | None = None
+    #: mean offline time before a departed supplier rejoins
+    supplier_mean_offline_seconds: float = 4 * HOUR
+    #: whether departed suppliers ever rejoin
+    suppliers_rejoin: bool = True
+
+    # ----- measurement ----------------------------------------------------
+    capacity_sample_seconds: float = 1 * HOUR
+    rate_sample_seconds: float = 1 * HOUR
+    favored_snapshot_seconds: float = 3 * HOUR
+
+    # ----- reproducibility -------------------------------------------------
+    master_seed: int = 20020701  # ICDCS 2002 was held in July
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        ladder = ClassLadder(self.num_classes)
+        for peer_class in list(self.seed_suppliers) + list(self.requesting_peers):
+            ladder.validate_class(peer_class)
+        if min(self.seed_suppliers.values(), default=0) < 0:
+            raise ConfigurationError("seed supplier counts must be >= 0")
+        if min(self.requesting_peers.values(), default=0) < 0:
+            raise ConfigurationError("requesting peer counts must be >= 0")
+        if sum(self.seed_suppliers.values()) < 1:
+            raise ConfigurationError("the system needs at least one seed supplier")
+        if self.probe_candidates < 1:
+            raise ConfigurationError(f"M must be >= 1, got {self.probe_candidates}")
+        if self.arrival_pattern not in (1, 2, 3, 4):
+            raise ConfigurationError(
+                f"arrival pattern must be 1..4, got {self.arrival_pattern}"
+            )
+        if self.arrival_window_seconds > self.horizon_seconds:
+            raise ConfigurationError("arrival window cannot exceed the horizon")
+        if not 0.0 <= self.down_probability < 1.0:
+            raise ConfigurationError(
+                f"down_probability must be in [0, 1), got {self.down_probability}"
+            )
+        if self.t_out_seconds <= 0 or self.t_bkf_seconds <= 0 or self.e_bkf < 1:
+            raise ConfigurationError("timer parameters must be positive (E_bkf >= 1)")
+        if self.lookup not in ("directory", "chord"):
+            raise ConfigurationError(f"unknown lookup substrate {self.lookup!r}")
+        if (
+            self.supplier_mean_online_seconds is not None
+            and self.supplier_mean_online_seconds <= 0
+        ):
+            raise ConfigurationError("supplier mean online time must be > 0")
+        if self.supplier_mean_offline_seconds <= 0:
+            raise ConfigurationError("supplier mean offline time must be > 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def ladder(self) -> ClassLadder:
+        """The bandwidth-class ladder in force."""
+        return ClassLadder(self.num_classes)
+
+    @property
+    def media(self) -> MediaFile:
+        """The (single) media file all peers stream."""
+        return MediaFile(
+            show_seconds=self.show_seconds, segment_seconds=self.segment_seconds
+        )
+
+    @property
+    def total_requesting(self) -> int:
+        """Total number of requesting peers."""
+        return sum(self.requesting_peers.values())
+
+    @property
+    def total_peers(self) -> int:
+        """Seeds plus requesting peers."""
+        return self.total_requesting + sum(self.seed_suppliers.values())
+
+    def replace(self, **changes: object) -> "SimulationConfig":
+        """Frozen-dataclass ``replace`` with validation re-run."""
+        return dataclasses.replace(self, **changes)
+
+    def scaled(self, scale: float) -> "SimulationConfig":
+        """Shrink (or grow) the population by ``scale``, keeping ratios.
+
+        Counts are rounded to the nearest integer with a floor of 1 for any
+        class that was nonzero, so tiny scales still exercise every class.
+        """
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be > 0, got {scale}")
+
+        def scale_counts(counts: dict[int, int]) -> dict[int, int]:
+            return {
+                peer_class: max(1, round(count * scale)) if count else 0
+                for peer_class, count in counts.items()
+            }
+
+        return self.replace(
+            seed_suppliers=scale_counts(self.seed_suppliers),
+            requesting_peers=scale_counts(self.requesting_peers),
+        )
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary of the run."""
+        return (
+            f"{self.protocol} | {self.total_peers} peers "
+            f"({sum(self.seed_suppliers.values())} seeds + {self.total_requesting} requesters), "
+            f"pattern {self.arrival_pattern}, M={self.probe_candidates}, "
+            f"T_out={self.t_out_seconds / MINUTE:.0f}min, "
+            f"T_bkf={self.t_bkf_seconds / MINUTE:.0f}min, E_bkf={self.e_bkf:g}, "
+            f"horizon {self.horizon_seconds / HOUR:.0f}h, lookup={self.lookup}, "
+            f"seed={self.master_seed}"
+        )

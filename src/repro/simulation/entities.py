@@ -1,0 +1,102 @@
+"""Per-peer simulation state.
+
+A :class:`SimPeer` is the mutable simulation record of one peer: identity
+and class (immutable), its current role, its admission-control state once it
+becomes a supplier, and the request/rejection bookkeeping that the metrics
+layer turns into Table 1 and Figures 5–6.
+
+``__slots__`` keeps the 50,100-peer population compact and attribute access
+fast — the request-handling path touches these objects millions of times in
+a full-scale run.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import PeerRole
+from repro.errors import SimulationError
+from repro.protocols.base import SupplierStateLike
+
+__all__ = ["SimPeer"]
+
+
+class SimPeer:
+    """Simulation state of one peer."""
+
+    __slots__ = (
+        "peer_id",
+        "peer_class",
+        "is_seed",
+        "role",
+        "admission",
+        "rejections",
+        "first_request_time",
+        "admitted_time",
+        "buffering_delay_slots",
+        "num_suppliers_served_by",
+        "idle_timer_generation",
+        "sessions_served",
+        "departed",
+        "departures",
+    )
+
+    def __init__(self, peer_id: int, peer_class: int, is_seed: bool = False) -> None:
+        self.peer_id = peer_id
+        self.peer_class = peer_class
+        self.is_seed = is_seed
+        self.role = PeerRole.SUPPLYING if is_seed else PeerRole.REQUESTING
+        #: admission-control state; None until the peer becomes a supplier
+        self.admission: SupplierStateLike | None = None
+        #: rejections suffered so far (drives backoff and Table 1)
+        self.rejections = 0
+        #: when the peer made its *first* streaming request
+        self.first_request_time: float | None = None
+        #: when the peer was admitted (None until then)
+        self.admitted_time: float | None = None
+        #: buffering delay of its (single) session, in slots
+        self.buffering_delay_slots: int | None = None
+        #: how many suppliers served its session
+        self.num_suppliers_served_by: int | None = None
+        #: generation counter invalidating stale idle-timeout events
+        self.idle_timer_generation = 0
+        #: number of sessions this peer has served as a supplier
+        self.sessions_served = 0
+        #: whether the (supplier) peer is currently departed from the system
+        self.departed = False
+        #: how many times this supplier has departed (churn experiments)
+        self.departures = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_supplier(self) -> bool:
+        """Whether the peer has ever become a supplying peer."""
+        return self.role is PeerRole.SUPPLYING
+
+    @property
+    def is_active_supplier(self) -> bool:
+        """Whether the peer is in the supplier population *right now*."""
+        return self.role is PeerRole.SUPPLYING and not self.departed
+
+    @property
+    def waiting_time(self) -> float | None:
+        """Time from first request to admission (None while waiting)."""
+        if self.admitted_time is None or self.first_request_time is None:
+            return None
+        return self.admitted_time - self.first_request_time
+
+    def promote(self, admission_state: SupplierStateLike) -> None:
+        """Turn the peer into a supplying peer with the given state."""
+        if self.is_supplier:
+            raise SimulationError(f"peer {self.peer_id} is already a supplier")
+        self.role = PeerRole.SUPPLYING
+        self.admission = admission_state
+
+    def bump_idle_generation(self) -> int:
+        """Invalidate outstanding idle timers; returns the new generation."""
+        self.idle_timer_generation += 1
+        return self.idle_timer_generation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimPeer(id={self.peer_id}, class={self.peer_class}, "
+            f"role={self.role.value}, rejections={self.rejections})"
+        )

@@ -1,0 +1,27 @@
+"""Event-kind names shared by the streaming system and trace consumers.
+
+The trace is a stream of flat dicts; these constants are the vocabulary of
+their ``kind`` field, kept in one module so analysis code and tests never
+drift from the producer.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SUPPLIER_JOINED",
+    "IDLE_ELEVATION",
+    "ADMISSION",
+    "REJECTION",
+    "ALL_KINDS",
+]
+
+#: a peer entered the supplier population (seed init or promotion)
+SUPPLIER_JOINED = "supplier_joined"
+#: an idle supplier elevated its probability vector after T_out
+IDLE_ELEVATION = "idle_elevation"
+#: a requesting peer was admitted and its session started
+ADMISSION = "admission"
+#: a requesting peer was rejected and scheduled a backoff retry
+REJECTION = "rejection"
+
+ALL_KINDS = (SUPPLIER_JOINED, IDLE_ELEVATION, ADMISSION, REJECTION)

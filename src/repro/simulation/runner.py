@@ -1,0 +1,109 @@
+"""One-call experiment execution: single runs, protocol comparisons, sweeps.
+
+These helpers are the entry points used by the benchmarks, examples and the
+CLI.  A :class:`SimulationResult` packages the run's configuration, metrics
+and bookkeeping; comparisons and sweeps return ordered dictionaries keyed
+the way the paper labels its curves.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.capacity import max_capacity_sessions
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.system import StreamingSystem
+from repro.simulation.trace import TraceRecorder
+
+__all__ = [
+    "SimulationResult",
+    "run_simulation",
+    "compare_protocols",
+    "sweep_parameter",
+]
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced."""
+
+    config: SimulationConfig
+    metrics: MetricsCollector
+    events_processed: int
+    wall_seconds: float
+    message_stats: dict[str, float] | None
+
+    @property
+    def max_capacity(self) -> int:
+        """Capacity ceiling if every peer became a supplier (Figure 4)."""
+        class_counts = {c: 0 for c in self.config.ladder.classes}
+        for peer_class, count in self.config.seed_suppliers.items():
+            class_counts[peer_class] += count
+        for peer_class, count in self.config.requesting_peers.items():
+            class_counts[peer_class] += count
+        return max_capacity_sessions(class_counts, self.config.ladder)
+
+    @property
+    def capacity_fraction_of_max(self) -> float:
+        """Final capacity as a fraction of the ceiling (paper: >= 0.95)."""
+        maximum = self.max_capacity
+        return self.metrics.final_capacity() / maximum if maximum else 0.0
+
+    def summary(self) -> str:
+        """Compact run summary for logs and reports."""
+        admitted = sum(self.metrics.admitted.values())
+        first = sum(self.metrics.first_requests.values())
+        return (
+            f"{self.config.protocol} pattern {self.config.arrival_pattern}: "
+            f"capacity {self.metrics.final_capacity():.0f}/{self.max_capacity} "
+            f"({100 * self.capacity_fraction_of_max:.1f}% of max), "
+            f"admitted {admitted}/{first}, "
+            f"{self.events_processed} events in {self.wall_seconds:.2f}s"
+        )
+
+
+def run_simulation(
+    config: SimulationConfig, trace: TraceRecorder | None = None
+) -> SimulationResult:
+    """Build and run one streaming system; returns its results."""
+    start = time.perf_counter()
+    system = StreamingSystem(config, trace=trace)
+    metrics = system.run()
+    wall = time.perf_counter() - start
+    message_stats = (
+        system.transport.stats.snapshot() if system.transport is not None else None
+    )
+    return SimulationResult(
+        config=config,
+        metrics=metrics,
+        events_processed=system.sim.events_processed,
+        wall_seconds=wall,
+        message_stats=message_stats,
+    )
+
+
+def compare_protocols(
+    config: SimulationConfig, protocols: Sequence[str] = ("dac", "ndac")
+) -> dict[str, SimulationResult]:
+    """Run the same configuration under several admission protocols.
+
+    All runs share the master seed, so RNG streams are paired and observed
+    differences are attributable to the protocols.
+    """
+    return {
+        protocol: run_simulation(config.replace(protocol=protocol))
+        for protocol in protocols
+    }
+
+
+def sweep_parameter(
+    config: SimulationConfig, parameter: str, values: Iterable[object]
+) -> dict[object, SimulationResult]:
+    """Run the config once per value of ``parameter`` (Figures 8 and 9)."""
+    return {
+        value: run_simulation(config.replace(**{parameter: value}))
+        for value in values
+    }

@@ -1,0 +1,93 @@
+"""Structured event traces (optional, for debugging and replay analysis).
+
+A :class:`TraceRecorder` collects protocol-level events — admissions,
+rejections, reminders, supplier joins, idle elevations — as plain dicts.
+They can be kept in memory (tests assert on them), written to JSON Lines, or
+re-loaded for offline analysis.  Tracing is off by default: the hot request
+path only pays an ``if self.trace`` check.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import TraceError
+
+__all__ = ["TraceRecorder", "load_trace"]
+
+
+@dataclass
+class TraceRecorder:
+    """Collects structured simulation events.
+
+    Parameters
+    ----------
+    keep_in_memory:
+        Retain events in :attr:`events` (default).  Disable for very long
+        runs that only stream to disk.
+    path:
+        If set, events are appended to this JSON-Lines file as they happen.
+    """
+
+    keep_in_memory: bool = True
+    path: Path | None = None
+    events: list[dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._file = None
+        if self.path is not None:
+            try:
+                self._file = open(self.path, "w", encoding="utf-8")
+            except OSError as exc:
+                raise TraceError(f"cannot open trace file {self.path}: {exc}") from exc
+
+    def record(self, kind: str, time_seconds: float, **fields: object) -> None:
+        """Record one event of ``kind`` at simulated ``time_seconds``."""
+        event = {"kind": kind, "t": time_seconds, **fields}
+        if self.keep_in_memory:
+            self.events.append(event)
+        if self._file is not None:
+            self._file.write(json.dumps(event) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the backing file, if any."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> list[dict]:
+        """All in-memory events of one kind, in time order."""
+        return [event for event in self.events if event["kind"] == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of in-memory events of one kind."""
+        return sum(1 for event in self.events if event["kind"] == kind)
+
+
+def load_trace(path: Path | str) -> Iterator[dict]:
+    """Stream events back from a JSON-Lines trace file."""
+    path = Path(path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceError(
+                        f"{path}:{line_number}: invalid trace line: {exc}"
+                    ) from exc
+    except OSError as exc:
+        raise TraceError(f"cannot read trace file {path}: {exc}") from exc

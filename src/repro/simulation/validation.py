@@ -1,0 +1,196 @@
+"""Post-run invariant auditing.
+
+A simulation can silently drift from the paper's model (a supplier serving
+two sessions, a session using more than ``R0``, a peer admitted without
+ever requesting).  :func:`audit_system` sweeps a finished
+:class:`~repro.simulation.system.StreamingSystem` and its optional trace
+and returns a structured report of every violated invariant — the
+integration suite asserts the report is empty, and long experiment
+campaigns can audit cheaply instead of re-deriving everything from traces.
+
+Invariants checked
+------------------
+**State invariants** (from the final system state)
+
+* S1  every non-seed peer that was admitted is now a supplier;
+* S2  every supplier has admission state and a class on the ladder;
+* S3  the capacity ledger equals a recount over the supplier population;
+* S4  per-peer bookkeeping is consistent (admitted ⇒ first request;
+      waiting time non-negative; buffering delay equals supplier count);
+* S5  admitted peers' buffering delays respect Theorem-1 bounds
+      (``2 <= n <= M``) on the paper's ladder;
+* S6  metrics counters are self-consistent (admissions ≤ first requests,
+      requests = first requests + retries ≥ rejections).
+
+**Trace invariants** (when a trace was recorded)
+
+* T1  no supplier is enlisted into two overlapping sessions;
+* T2  every admission's suppliers aggregate to exactly ``R0``;
+* T3  backoffs follow ``T_bkf · E_bkf**(i-1)``;
+* T4  event times are within the horizon and non-decreasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import PeerRole
+from repro.simulation.system import StreamingSystem
+from repro.simulation.trace import TraceRecorder
+
+__all__ = ["Violation", "AuditReport", "audit_system"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated invariant."""
+
+    invariant: str
+    message: str
+
+
+@dataclass
+class AuditReport:
+    """Outcome of a system audit."""
+
+    violations: list[Violation] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant was violated."""
+        return not self.violations
+
+    def add(self, invariant: str, message: str) -> None:
+        """Record one violation."""
+        self.violations.append(Violation(invariant, message))
+
+    def summary(self) -> str:
+        """One line per violation, or an all-clear."""
+        if self.ok:
+            return f"audit ok ({self.checks_run} checks)"
+        lines = [f"audit FAILED: {len(self.violations)} violation(s)"]
+        lines += [f"  [{v.invariant}] {v.message}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def _audit_state(system: StreamingSystem, report: AuditReport) -> None:
+    ladder = system.ladder
+    metrics = system.metrics
+
+    recount_units = 0
+    recount_suppliers = 0
+    for peer in system.peers:
+        report.checks_run += 1
+        if peer.admitted_time is not None and peer.role is not PeerRole.SUPPLYING:
+            report.add("S1", f"peer {peer.peer_id} admitted but not a supplier")
+        if peer.is_active_supplier:
+            recount_suppliers += 1
+            recount_units += ladder.offer_units(peer.peer_class)
+        if peer.is_supplier and peer.admission is None:
+            report.add("S2", f"supplier {peer.peer_id} has no admission state")
+        if peer.admitted_time is not None:
+            if peer.first_request_time is None:
+                report.add(
+                    "S4", f"peer {peer.peer_id} admitted without a first request"
+                )
+            elif peer.admitted_time < peer.first_request_time:
+                report.add("S4", f"peer {peer.peer_id} admitted before requesting")
+            if peer.buffering_delay_slots != peer.num_suppliers_served_by:
+                report.add(
+                    "S4",
+                    f"peer {peer.peer_id}: delay {peer.buffering_delay_slots} != "
+                    f"supplier count {peer.num_suppliers_served_by} (Theorem 1)",
+                )
+            if peer.num_suppliers_served_by is not None and not (
+                2 <= peer.num_suppliers_served_by <= system.config.probe_candidates
+            ):
+                report.add(
+                    "S5",
+                    f"peer {peer.peer_id} served by "
+                    f"{peer.num_suppliers_served_by} suppliers, outside "
+                    f"[2, M={system.config.probe_candidates}]",
+                )
+
+    report.checks_run += 1
+    if recount_units != system.ledger.total_units:
+        report.add(
+            "S3",
+            f"ledger says {system.ledger.total_units} units, recount says "
+            f"{recount_units}",
+        )
+    if recount_suppliers != system.ledger.num_suppliers:
+        report.add(
+            "S3",
+            f"ledger says {system.ledger.num_suppliers} suppliers, recount "
+            f"says {recount_suppliers}",
+        )
+
+    report.checks_run += 1
+    for peer_class in ladder.classes:
+        if metrics.admitted[peer_class] > metrics.first_requests[peer_class]:
+            report.add(
+                "S6",
+                f"class {peer_class}: admitted {metrics.admitted[peer_class]} > "
+                f"first requests {metrics.first_requests[peer_class]}",
+            )
+        if metrics.requests[peer_class] < metrics.first_requests[peer_class]:
+            report.add("S6", f"class {peer_class}: requests < first requests")
+
+
+def _audit_trace(
+    system: StreamingSystem, trace: TraceRecorder, report: AuditReport
+) -> None:
+    ladder = system.ladder
+    config = system.config
+    show_seconds = system.media.show_seconds
+
+    busy_until: dict[int, float] = {}
+    previous_time = 0.0
+    for event in trace.events:
+        report.checks_run += 1
+        time = event["t"]
+        if time < previous_time:
+            report.add("T4", f"event at {time} after event at {previous_time}")
+        previous_time = max(previous_time, time)
+        if time > config.horizon_seconds + 1e-9:
+            report.add("T4", f"event at {time} beyond horizon")
+
+        if event["kind"] == "admission":
+            units = 0
+            for supplier_id in event["suppliers"]:
+                if busy_until.get(supplier_id, -1.0) > time + 1e-9:
+                    report.add(
+                        "T1",
+                        f"supplier {supplier_id} enlisted at {time} while busy "
+                        f"until {busy_until[supplier_id]}",
+                    )
+                busy_until[supplier_id] = time + show_seconds
+                units += ladder.offer_units(system.peers[supplier_id].peer_class)
+            if units != ladder.full_rate_units:
+                report.add(
+                    "T2",
+                    f"admission of peer {event['peer']} at {time} aggregates "
+                    f"{units} units, needs {ladder.full_rate_units}",
+                )
+        elif event["kind"] == "rejection":
+            expected = config.t_bkf_seconds * config.e_bkf ** (
+                event["rejections"] - 1
+            )
+            if abs(event["backoff_seconds"] - expected) > 1e-6:
+                report.add(
+                    "T3",
+                    f"peer {event['peer']} backoff {event['backoff_seconds']} "
+                    f"!= expected {expected}",
+                )
+
+
+def audit_system(
+    system: StreamingSystem, trace: TraceRecorder | None = None
+) -> AuditReport:
+    """Audit a finished run against the paper's model invariants."""
+    report = AuditReport()
+    _audit_state(system, report)
+    if trace is not None:
+        _audit_trace(system, trace, report)
+    return report

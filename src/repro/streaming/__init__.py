@@ -1,0 +1,29 @@
+"""Media-streaming substrate: CBR media model, sessions, playback buffers.
+
+The paper's evaluation never transfers real bytes — with a CBR stream and the
+exact power-of-two rate ladder, every segment's arrival time is analytic.
+This package provides:
+
+* :mod:`repro.streaming.media` — the media-file geometry (show time,
+  segment duration, playback rate);
+* :mod:`repro.streaming.session` — a multi-supplier streaming session:
+  assignment, timing, busy intervals, buffering delay;
+* :mod:`repro.streaming.playback` — an explicit playback-buffer simulation
+  that *verifies* continuity instead of assuming it;
+* :mod:`repro.streaming.buffer` — receiver-buffer occupancy accounting.
+"""
+
+from repro.streaming.media import MediaFile
+from repro.streaming.session import StreamingSession, plan_session
+from repro.streaming.playback import PlaybackSimulation, simulate_playback
+from repro.streaming.buffer import BufferStats, occupancy_profile
+
+__all__ = [
+    "MediaFile",
+    "StreamingSession",
+    "plan_session",
+    "PlaybackSimulation",
+    "simulate_playback",
+    "BufferStats",
+    "occupancy_profile",
+]

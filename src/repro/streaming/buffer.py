@@ -1,0 +1,86 @@
+"""Receiver-buffer occupancy accounting.
+
+The paper's model assumes each peer "has sufficient storage to store the
+entire media file" (footnote 1), so buffer occupancy never gates admission —
+but the occupancy profile is still interesting: it shows how much a
+requesting peer must *hold* at any moment, which differs sharply between
+assignment algorithms and is the natural cost axis of the low buffering
+delay OTS_p2p achieves.
+
+Occupancy is measured at slot granularity: segments enter the buffer at
+their arrival slot and leave once their playback slot has completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import Assignment
+from repro.core.schedule import TransmissionSchedule
+from repro.errors import SchedulingError
+from repro.streaming.media import MediaFile
+
+__all__ = ["BufferStats", "occupancy_profile"]
+
+
+@dataclass(frozen=True)
+class BufferStats:
+    """Summary of a playback run's buffer behaviour.
+
+    Attributes
+    ----------
+    peak_segments:
+        Maximum number of segments simultaneously held.
+    peak_slot:
+        First slot at which the peak occurred.
+    mean_segments:
+        Time-average occupancy over the observed horizon.
+    profile:
+        Occupancy (in segments) at the end of each slot.
+    """
+
+    peak_segments: int
+    peak_slot: int
+    mean_segments: float
+    profile: tuple[int, ...]
+
+    def peak_bytes(self, media: MediaFile) -> float:
+        """Peak occupancy converted to bytes via the media's segment size."""
+        return self.peak_segments * media.segment_bits / 8.0
+
+
+def occupancy_profile(
+    assignment: Assignment,
+    start_delay_slots: int,
+    num_segments: int | None = None,
+) -> BufferStats:
+    """Compute the buffer-occupancy profile of a playback run.
+
+    A segment occupies the buffer from its arrival slot (exclusive of the
+    slot during which it is still arriving) until its playback slot has
+    completed.  Playback of segment ``s`` occupies slot
+    ``start_delay_slots + s``.
+    """
+    if start_delay_slots < 0:
+        raise SchedulingError(f"start delay must be >= 0, got {start_delay_slots}")
+    schedule = TransmissionSchedule.from_assignment(assignment)
+    if num_segments is None:
+        num_segments = 4 * assignment.period_len
+
+    horizon = start_delay_slots + num_segments
+    occupancy = [0] * horizon
+    for s in range(num_segments):
+        arrive = schedule.arrival_slot(s)
+        depart = start_delay_slots + s + 1  # slot after playback completes
+        for slot in range(arrive, min(depart, horizon)):
+            occupancy[slot] += 1
+
+    peak = max(occupancy) if occupancy else 0
+    peak_slot = occupancy.index(peak) if occupancy else 0
+    mean = sum(occupancy) / len(occupancy) if occupancy else 0.0
+    return BufferStats(
+        peak_segments=peak,
+        peak_slot=peak_slot,
+        mean_segments=mean,
+        profile=tuple(occupancy),
+    )

@@ -1,0 +1,98 @@
+"""Media-file geometry (Section 2, assumptions 2 and 5).
+
+The media stream is Constant-Bit-Rate with playback rate ``R0`` and is cut
+into equal-size segments whose playback time ``δt`` is "in the magnitude of
+seconds".  The paper's evaluation streams a 60-minute video.
+
+Everything downstream works in *slots* (integer multiples of ``δt``); this
+class is the single place where slots are tied back to wall-clock seconds
+and to bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MediaFile"]
+
+#: Paper default: a 60-minute show.
+DEFAULT_SHOW_SECONDS = 60 * 60.0
+#: Paper: "δt is typically in the magnitude of seconds" — we default to 5 s.
+DEFAULT_SEGMENT_SECONDS = 5.0
+#: A generic streaming-video playback rate used for bit-level reporting only.
+DEFAULT_PLAYBACK_BPS = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class MediaFile:
+    """A CBR media file: show time, segment duration and playback rate.
+
+    Parameters
+    ----------
+    show_seconds:
+        Total playback duration ``D`` of the media.
+    segment_seconds:
+        Playback duration ``δt`` of one segment (one slot).  Must divide the
+        show time so the file is a whole number of segments.
+    playback_bps:
+        Playback rate ``R0`` in bits/second.  The protocol logic never needs
+        it (it works in fractions of ``R0``); it only scales bit-level
+        reporting such as buffer occupancy in bytes.
+    media_id:
+        Identifier used by the lookup substrate (the paper's evaluation has
+        a single popular video; multi-file systems hash this id).
+    """
+
+    show_seconds: float = DEFAULT_SHOW_SECONDS
+    segment_seconds: float = DEFAULT_SEGMENT_SECONDS
+    playback_bps: float = DEFAULT_PLAYBACK_BPS
+    media_id: str = "video-0"
+
+    def __post_init__(self) -> None:
+        if self.show_seconds <= 0:
+            raise ConfigurationError(f"show_seconds must be > 0, got {self.show_seconds}")
+        if self.segment_seconds <= 0:
+            raise ConfigurationError(
+                f"segment_seconds must be > 0, got {self.segment_seconds}"
+            )
+        if self.playback_bps <= 0:
+            raise ConfigurationError(f"playback_bps must be > 0, got {self.playback_bps}")
+        ratio = self.show_seconds / self.segment_seconds
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise ConfigurationError(
+                f"segment_seconds ({self.segment_seconds}) must divide "
+                f"show_seconds ({self.show_seconds}) into whole segments"
+            )
+
+    @property
+    def num_segments(self) -> int:
+        """Number of segments in the file."""
+        return round(self.show_seconds / self.segment_seconds)
+
+    @property
+    def segment_bits(self) -> float:
+        """Size of one segment in bits (``R0 · δt``)."""
+        return self.playback_bps * self.segment_seconds
+
+    @property
+    def total_bits(self) -> float:
+        """Size of the whole file in bits."""
+        return self.playback_bps * self.show_seconds
+
+    def slots_to_seconds(self, slots: float) -> float:
+        """Convert a duration in slots (multiples of ``δt``) to seconds."""
+        return slots * self.segment_seconds
+
+    def seconds_to_slots(self, seconds: float) -> float:
+        """Convert seconds to (possibly fractional) slots."""
+        return seconds / self.segment_seconds
+
+    def playback_deadline_seconds(self, segment: int, start_delay_slots: int) -> float:
+        """Wall-clock time at which ``segment`` must be present for playback.
+
+        Playback begins ``start_delay_slots`` slots after transmission start,
+        and segment ``s`` is consumed during playback slot ``s``.
+        """
+        return self.slots_to_seconds(start_delay_slots + segment)

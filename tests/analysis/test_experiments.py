@@ -1,0 +1,56 @@
+"""Unit tests for the named experiment registry."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    list_experiments,
+    run_experiment,
+)
+from repro.errors import ConfigurationError
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return SimulationConfig(
+        seed_suppliers={1: 2},
+        requesting_peers={1: 4, 2: 4, 3: 16, 4: 16},
+        master_seed=9,
+    )
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig4", "fig5", "fig6", "table1", "fig7", "fig8a",
+            "fig8b", "fig9",
+        }
+
+    def test_listing_mentions_every_id(self):
+        text = list_experiments()
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in text
+
+    def test_unknown_id_rejected(self, tiny_config):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99", tiny_config)
+
+
+class TestRunners:
+    def test_fig1_is_simulation_free(self, tiny_config):
+        text = run_experiment("fig1", tiny_config)
+        assert "Assignment I" in text
+
+    def test_table1_produces_dac_ndac_cells(self, tiny_config):
+        text = run_experiment("table1", tiny_config)
+        assert "Class 1" in text and "/" in text
+
+    @pytest.mark.parametrize("experiment_id", ["fig5", "fig6", "fig7"])
+    def test_figure_experiments_render(self, tiny_config, experiment_id):
+        text = run_experiment(experiment_id, tiny_config)
+        assert "Figure" in text
+
+    def test_fig9_sweeps_backoff(self, tiny_config):
+        text = run_experiment("fig9", tiny_config)
+        assert "E_bkf=1" in text and "E_bkf=4" in text

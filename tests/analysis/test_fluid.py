@@ -1,0 +1,87 @@
+"""Unit tests for the fluid (mean-field) capacity model."""
+
+import pytest
+
+from repro.analysis.fluid import (
+    fluid_capacity_model,
+    mean_offer_sessions,
+)
+from repro.errors import ConfigurationError
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig().scaled(0.1)
+
+
+class TestMeanOffer:
+    def test_paper_mix_is_015(self):
+        # 10% * 1/2 + 10% * 1/4 + 40% * 1/8 + 40% * 1/16 = 0.15
+        assert mean_offer_sessions(SimulationConfig()) == pytest.approx(0.15)
+
+    def test_empty_population(self):
+        config = SimulationConfig(requesting_peers={1: 0, 2: 0, 3: 0, 4: 0})
+        assert mean_offer_sessions(config) == 0.0
+
+
+class TestTrajectory:
+    @pytest.fixture(scope="class")
+    def trajectory(self, request):
+        return fluid_capacity_model(SimulationConfig().scaled(0.1))
+
+    def test_capacity_monotone_nondecreasing(self, trajectory):
+        values = [p.value for p in trajectory.capacity]
+        assert values == sorted(values)
+
+    def test_starts_at_seed_capacity(self, trajectory):
+        # 10 class-1 seeds at 1/10 scale -> 5 sessions
+        assert trajectory.capacity[0].value == pytest.approx(5.0)
+
+    def test_saturates_near_population_maximum(self, trajectory, config):
+        # everyone is eventually admitted in the fluid limit
+        maximum = 5.0 + 0.15 * config.total_requesting
+        assert trajectory.final_capacity() == pytest.approx(maximum, rel=0.02)
+
+    def test_all_peers_admitted(self, trajectory, config):
+        assert trajectory.admitted_total == pytest.approx(
+            config.total_requesting, rel=0.01
+        )
+
+    def test_backlog_rises_then_empties(self, trajectory):
+        values = [p.value for p in trajectory.backlog]
+        assert max(values) > 0.0
+        assert values[-1] == pytest.approx(0.0, abs=1.0)
+
+    def test_in_progress_bounded_by_capacity(self, trajectory):
+        for busy, cap in zip(trajectory.in_progress, trajectory.capacity):
+            assert busy.value <= cap.value + 1e-6
+
+    def test_invalid_step_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            fluid_capacity_model(config, step_seconds=0.0)
+
+
+class TestAgainstSimulation:
+    def test_fluid_is_an_upper_envelope_of_the_des(self):
+        """The DES (which pays probing/backoff costs) trails the fluid curve."""
+        from repro.analysis.stats import value_at_hour
+        from repro.simulation.runner import run_simulation
+
+        config = SimulationConfig().scaled(0.02)
+        fluid = fluid_capacity_model(config)
+        des = run_simulation(config).metrics.capacity_series
+        for hour in (12, 24, 48, 72, 120):
+            fluid_value = value_at_hour(fluid.capacity, hour)
+            des_value = value_at_hour(des, hour)
+            assert des_value <= fluid_value * 1.05 + 2.0
+
+    def test_fluid_and_des_share_the_endpoint(self):
+        from repro.simulation.runner import run_simulation
+
+        config = SimulationConfig().scaled(0.02)
+        fluid = fluid_capacity_model(config)
+        result = run_simulation(config)
+        assert result.metrics.final_capacity() == pytest.approx(
+            fluid.final_capacity(), rel=0.10
+        )

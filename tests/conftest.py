@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the whole test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.model import ClassLadder, SupplierOffer
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture
+def ladder() -> ClassLadder:
+    """The paper's four-class bandwidth ladder."""
+    return ClassLadder(4)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded RNG for deterministic randomized tests."""
+    return random.Random(12345)
+
+
+def offers_from_classes(classes, ladder=None) -> list[SupplierOffer]:
+    """Build supplier offers with ids 1..n from a list of class indices."""
+    ladder = ladder or ClassLadder(4)
+    return [
+        SupplierOffer(peer_id=i + 1, peer_class=c, units=ladder.offer_units(c))
+        for i, c in enumerate(classes)
+    ]
+
+
+def random_feasible_classes(rng: random.Random, ladder: ClassLadder) -> list[int]:
+    """Random multiset of classes whose offers sum to exactly R0.
+
+    Draws greedily: while deficit remains, pick a random class whose offer
+    still fits (always possible on the power-of-two ladder).
+    """
+    deficit = ladder.full_rate_units
+    classes: list[int] = []
+    while deficit > 0:
+        feasible = [c for c in ladder.classes if ladder.offer_units(c) <= deficit]
+        chosen = rng.choice(feasible)
+        classes.append(chosen)
+        deficit -= ladder.offer_units(chosen)
+    return classes
+
+
+@pytest.fixture
+def tiny_config() -> SimulationConfig:
+    """A fast-to-run configuration exercising all four classes."""
+    return SimulationConfig(
+        seed_suppliers={1: 4},
+        requesting_peers={1: 30, 2: 30, 3: 120, 4: 120},
+        horizon_seconds=144 * 3600.0,
+    )

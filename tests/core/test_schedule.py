@@ -1,0 +1,100 @@
+"""Unit tests for transmission schedules and buffering-delay evaluation."""
+
+import pytest
+
+from repro.core.assignment import contiguous_assignment, ots_assignment
+from repro.core.schedule import (
+    TransmissionSchedule,
+    min_start_delay_slots,
+    verify_continuous_playback,
+)
+from repro.errors import SchedulingError
+from tests.conftest import offers_from_classes
+
+
+@pytest.fixture
+def figure1_ots(ladder):
+    return ots_assignment(offers_from_classes([1, 2, 3, 3], ladder), ladder)
+
+
+@pytest.fixture
+def figure1_contiguous(ladder):
+    return contiguous_assignment(offers_from_classes([1, 2, 3, 3], ladder), ladder)
+
+
+class TestArrivalTimes:
+    def test_ots_arrivals_match_hand_computation(self, figure1_ots):
+        schedule = TransmissionSchedule.from_assignment(figure1_ots)
+        # Ps1 (class 1, 2 slots/segment) carries 0,1,3,7 -> 2,4,6,8
+        # Ps2 (class 2, 4 slots/segment) carries 2,6   -> 4,8
+        # Ps3/Ps4 (class 3, 8 slots/segment) carry 5 / 4 -> 8 / 8
+        assert schedule.local_arrival == (2, 4, 4, 6, 8, 8, 8, 8)
+
+    def test_arrivals_are_periodic(self, figure1_ots):
+        schedule = TransmissionSchedule.from_assignment(figure1_ots)
+        for segment in range(8):
+            assert (
+                schedule.arrival_slot(segment + 8)
+                == schedule.arrival_slot(segment) + 8
+            )
+            assert (
+                schedule.arrival_slot(segment + 24)
+                == schedule.arrival_slot(segment) + 24
+            )
+
+    def test_arrivals_iterator_matches_pointwise(self, figure1_ots):
+        schedule = TransmissionSchedule.from_assignment(figure1_ots)
+        listed = dict(schedule.arrivals(20))
+        assert listed == {s: schedule.arrival_slot(s) for s in range(20)}
+
+    def test_negative_segment_rejected(self, figure1_ots):
+        schedule = TransmissionSchedule.from_assignment(figure1_ots)
+        with pytest.raises(SchedulingError):
+            schedule.arrival_slot(-1)
+
+    def test_every_supplier_pipe_is_exactly_full(self, ladder, rng):
+        # quota * per-segment time == period length, for every supplier
+        from tests.conftest import random_feasible_classes
+
+        for _ in range(20):
+            classes = random_feasible_classes(rng, ladder)
+            assignment = ots_assignment(offers_from_classes(classes, ladder), ladder)
+            for offer, segments in zip(
+                assignment.suppliers, assignment.segment_lists
+            ):
+                per_segment = 1 << offer.peer_class
+                assert len(segments) * per_segment == assignment.period_len
+
+
+class TestMinStartDelay:
+    def test_paper_figure1_delays(self, figure1_ots, figure1_contiguous):
+        assert min_start_delay_slots(figure1_ots) == 4
+        assert min_start_delay_slots(figure1_contiguous) == 5
+
+    def test_slack_nonnegative_at_min_delay(self, figure1_ots):
+        schedule = TransmissionSchedule.from_assignment(figure1_ots)
+        delay = min_start_delay_slots(figure1_ots)
+        for segment in range(40):
+            assert schedule.slack(segment, delay) >= 0
+
+    def test_min_delay_is_tight(self, figure1_ots, figure1_contiguous):
+        for assignment in (figure1_ots, figure1_contiguous):
+            delay = min_start_delay_slots(assignment)
+            assert verify_continuous_playback(assignment, delay)
+            assert not verify_continuous_playback(assignment, delay - 1)
+
+
+class TestContinuousPlayback:
+    def test_larger_delay_always_safe(self, figure1_ots):
+        delay = min_start_delay_slots(figure1_ots)
+        for extra in (1, 3, 10):
+            assert verify_continuous_playback(figure1_ots, delay + extra)
+
+    def test_custom_horizon(self, figure1_ots):
+        delay = min_start_delay_slots(figure1_ots)
+        assert verify_continuous_playback(figure1_ots, delay, num_segments=1000)
+
+    def test_zero_delay_fails_on_paper_ladder(self, figure1_ots):
+        # Every class needs at least 2 slots per segment, so segment 0 can
+        # never be ready at slot 0.
+        assert not verify_continuous_playback(figure1_ots, 0)

@@ -1,0 +1,80 @@
+"""Unit tests for segment-geometry arithmetic."""
+
+import pytest
+
+from repro.core import segments as seg
+from repro.core.model import ClassLadder
+from repro.errors import AssignmentError, InfeasibleSessionError
+from tests.conftest import offers_from_classes
+
+
+class TestPeriodGeometry:
+    def test_lowest_class_is_numerically_largest(self):
+        offers = offers_from_classes([1, 2, 3, 3])
+        assert seg.lowest_class(offers) == 3
+
+    def test_lowest_class_of_empty_set_raises(self):
+        with pytest.raises(AssignmentError):
+            seg.lowest_class([])
+
+    def test_period_segments_is_two_to_the_lowest(self):
+        assert seg.period_segments(1) == 2
+        assert seg.period_segments(3) == 8
+        assert seg.period_segments(4) == 16
+
+    def test_period_segments_rejects_nonpositive(self):
+        with pytest.raises(AssignmentError):
+            seg.period_segments(0)
+
+    def test_quota_is_proportional_to_bandwidth(self):
+        # In a period of 2**3 = 8 segments: class 1 carries 4, class 2
+        # carries 2, class 3 carries 1.
+        assert seg.quota(1, 3) == 4
+        assert seg.quota(2, 3) == 2
+        assert seg.quota(3, 3) == 1
+
+    def test_quota_rejects_class_below_period_lowest(self):
+        with pytest.raises(AssignmentError):
+            seg.quota(4, 3)
+
+    def test_quotas_fill_the_period_exactly(self):
+        # For any feasible supplier set, quotas sum to the period length.
+        ladder = ClassLadder(4)
+        offers = offers_from_classes([2, 2, 2, 3, 4, 4], ladder)
+        lowest = seg.lowest_class(offers)
+        total = sum(seg.quota(o.peer_class, lowest) for o in offers)
+        assert total == seg.period_segments(lowest)
+
+
+class TestFeasibility:
+    def test_exact_sum_passes(self, ladder):
+        seg.check_feasible(offers_from_classes([1, 1], ladder), ladder)
+        seg.check_feasible(offers_from_classes([1, 2, 3, 3], ladder), ladder)
+        seg.check_feasible(offers_from_classes([4] * 16, ladder), ladder)
+
+    def test_undersupply_rejected(self, ladder):
+        with pytest.raises(InfeasibleSessionError):
+            seg.check_feasible(offers_from_classes([1, 2], ladder), ladder)
+
+    def test_oversupply_rejected(self, ladder):
+        with pytest.raises(InfeasibleSessionError):
+            seg.check_feasible(offers_from_classes([1, 1, 4], ladder), ladder)
+
+    def test_units_must_match_class(self, ladder):
+        from repro.core.model import SupplierOffer
+
+        bad = [SupplierOffer(1, 1, 8), SupplierOffer(2, 2, 8)]  # class 2 lies
+        with pytest.raises(InfeasibleSessionError):
+            seg.check_feasible(bad, ladder)
+
+
+class TestSegmentsInPeriod:
+    def test_period_zero_starts_at_zero(self):
+        assert list(seg.segments_in_period(0, 8)) == list(range(8))
+
+    def test_later_periods_offset_by_period_length(self):
+        assert list(seg.segments_in_period(3, 4)) == [12, 13, 14, 15]
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(AssignmentError):
+            seg.segments_in_period(-1, 8)

@@ -1,0 +1,79 @@
+"""Tests of Theorem 1: OTS_p2p achieves the minimum delay, which is n·δt."""
+
+import pytest
+
+from repro.core.assignment import (
+    contiguous_assignment,
+    ots_assignment,
+    round_robin_assignment,
+)
+from repro.core.model import ClassLadder
+from repro.core.schedule import min_start_delay_slots
+from repro.core.theorems import (
+    assignment_is_optimal,
+    brute_force_min_delay_slots,
+    theorem1_min_delay_slots,
+)
+from repro.errors import AssignmentError
+from tests.conftest import offers_from_classes, random_feasible_classes
+
+
+class TestClosedForm:
+    def test_minimum_delay_equals_supplier_count(self):
+        assert theorem1_min_delay_slots(2) == 2
+        assert theorem1_min_delay_slots(7) == 7
+
+    def test_zero_suppliers_rejected(self):
+        with pytest.raises(AssignmentError):
+            theorem1_min_delay_slots(0)
+
+
+class TestOtsMeetsTheorem:
+    @pytest.mark.parametrize(
+        "classes",
+        [
+            [1, 1],
+            [1, 2, 2],
+            [1, 2, 3, 3],
+            [2, 2, 2, 2],
+            [1, 2, 3, 4, 4],
+            [2, 2, 3, 3, 3, 4, 4],
+            [3, 3, 3, 3, 3, 3, 3, 3],
+        ],
+    )
+    def test_ots_delay_is_number_of_suppliers(self, ladder, classes):
+        assignment = ots_assignment(offers_from_classes(classes, ladder), ladder)
+        assert min_start_delay_slots(assignment) == len(classes)
+        assert assignment_is_optimal(assignment)
+
+    def test_randomized_supplier_sets(self, ladder, rng):
+        for _ in range(100):
+            classes = random_feasible_classes(rng, ladder)
+            assignment = ots_assignment(offers_from_classes(classes, ladder), ladder)
+            assert min_start_delay_slots(assignment) == len(classes)
+
+
+class TestBruteForceOracle:
+    """The strongest executable form of Theorem 1: no assignment beats n."""
+
+    @pytest.mark.parametrize(
+        "classes",
+        [[1, 1], [1, 2, 2], [2, 2, 2, 2], [1, 2, 3, 3], [1, 3, 3, 3, 3], [2, 2, 2, 3, 3]],
+    )
+    def test_brute_force_confirms_theorem(self, ladder, classes):
+        offers = offers_from_classes(classes, ladder)
+        assert brute_force_min_delay_slots(offers, ladder) == len(classes)
+
+    def test_brute_force_refuses_huge_periods(self):
+        ladder = ClassLadder(8)
+        offers = offers_from_classes([1, 2, 3, 4, 5, 6, 7, 8, 8], ladder)
+        with pytest.raises(AssignmentError):
+            brute_force_min_delay_slots(offers, ladder, max_period=64)
+
+    def test_baselines_never_beat_ots(self, ladder, rng):
+        for _ in range(30):
+            classes = random_feasible_classes(rng, ladder)
+            offers = offers_from_classes(classes, ladder)
+            optimal = min_start_delay_slots(ots_assignment(offers, ladder))
+            for baseline in (contiguous_assignment, round_robin_assignment):
+                assert min_start_delay_slots(baseline(offers, ladder)) >= optimal

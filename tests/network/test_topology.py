@@ -1,0 +1,61 @@
+"""Unit tests for the latency models."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.topology import ConstantLatency, GeometricLatency
+
+
+class TestConstantLatency:
+    def test_constant_between_distinct_peers(self):
+        model = ConstantLatency(0.03)
+        assert model.one_way_seconds(1, 2) == 0.03
+        assert model.one_way_seconds(2, 1) == 0.03
+
+    def test_self_message_is_free(self):
+        assert ConstantLatency(0.03).one_way_seconds(5, 5) == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatency(-0.1)
+
+
+class TestGeometricLatency:
+    def test_positions_deterministic_and_in_unit_square(self):
+        model = GeometricLatency()
+        for peer_id in (0, 1, 7, 10_000):
+            x, y = model.position(peer_id)
+            assert 0.0 <= x < 1.0 and 0.0 <= y < 1.0
+            assert model.position(peer_id) == (x, y)
+
+    def test_latency_symmetric(self):
+        model = GeometricLatency()
+        assert model.one_way_seconds(3, 9) == model.one_way_seconds(9, 3)
+
+    def test_latency_bounded(self):
+        model = GeometricLatency(min_seconds=0.01, max_extra_seconds=0.08)
+        for a, b in ((0, 1), (5, 900), (123, 456)):
+            latency = model.one_way_seconds(a, b)
+            assert 0.01 <= latency <= 0.09 + 1e-12
+
+    def test_self_message_is_free(self):
+        assert GeometricLatency().one_way_seconds(4, 4) == 0.0
+
+    def test_distance_monotonicity(self):
+        # Latency grows with Euclidean distance by construction.
+        model = GeometricLatency(min_seconds=0.0, max_extra_seconds=1.0)
+        pairs = [(1, 2), (3, 4), (5, 6), (7, 8)]
+
+        def distance(a, b):
+            (x1, y1), (x2, y2) = model.position(a), model.position(b)
+            return math.hypot(x2 - x1, y2 - y1)
+
+        ordered = sorted(pairs, key=lambda p: distance(*p))
+        latencies = [model.one_way_seconds(*p) for p in ordered]
+        assert latencies == sorted(latencies)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeometricLatency(min_seconds=-1.0)

@@ -1,0 +1,46 @@
+"""Unit tests for control-message accounting."""
+
+from repro.network.topology import ConstantLatency
+from repro.network.transport import Transport
+
+
+class TestTransport:
+    def test_send_counts_messages_and_bytes(self):
+        transport = Transport(latency=ConstantLatency(0.05))
+        transport.send("probe", 1, 2)
+        transport.send("probe", 1, 3)
+        transport.send("grant", 2, 1)
+        assert transport.stats.count_by_kind["probe"] == 2
+        assert transport.stats.count_by_kind["grant"] == 1
+        assert transport.stats.total_messages == 3
+        assert transport.stats.bytes_by_kind["probe"] == 128  # 2 x 64 B
+
+    def test_send_returns_latency(self):
+        transport = Transport(latency=ConstantLatency(0.05))
+        assert transport.send("probe", 1, 2) == 0.05
+
+    def test_round_trip_charges_both_directions(self):
+        transport = Transport(latency=ConstantLatency(0.05))
+        rtt = transport.round_trip("probe", 1, 2)
+        assert rtt == 0.10
+        assert transport.stats.count_by_kind["probe"] == 1
+        assert transport.stats.count_by_kind["probe_reply"] == 1
+
+    def test_unknown_kind_uses_default_size(self):
+        transport = Transport()
+        transport.send("weird", 1, 2)
+        assert transport.stats.bytes_by_kind["weird"] == 64
+
+    def test_custom_sizes_override(self):
+        transport = Transport(message_bytes={"probe": 100})
+        transport.send("probe", 1, 2)
+        assert transport.stats.bytes_by_kind["probe"] == 100
+
+    def test_snapshot_and_reset(self):
+        transport = Transport(latency=ConstantLatency(0.01))
+        transport.send("probe", 1, 2)
+        snap = transport.stats.snapshot()
+        assert snap["messages"] == 1
+        assert snap["latency_seconds"] == 0.01
+        transport.reset()
+        assert transport.stats.total_messages == 0

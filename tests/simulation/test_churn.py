@@ -1,0 +1,73 @@
+"""Unit tests for the availability (churn) models."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.churn import BernoulliChurn, NoChurn, OnOffChurn
+
+
+class TestNoChurn:
+    def test_never_down(self):
+        model = NoChurn()
+        rng = random.Random(1)
+        assert not any(model.is_down(i, i * 10.0, rng) for i in range(100))
+
+
+class TestBernoulliChurn:
+    def test_zero_probability_never_down(self):
+        model = BernoulliChurn(0.0)
+        rng = random.Random(1)
+        assert not any(model.is_down(1, t, rng) for t in range(100))
+
+    def test_down_rate_matches_probability(self):
+        model = BernoulliChurn(0.3)
+        rng = random.Random(2)
+        downs = sum(model.is_down(1, float(t), rng) for t in range(10_000))
+        assert downs / 10_000 == pytest.approx(0.3, abs=0.02)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliChurn(1.0)
+        with pytest.raises(ConfigurationError):
+            BernoulliChurn(-0.1)
+
+
+class TestOnOffChurn:
+    def test_state_is_time_consistent(self):
+        model = OnOffChurn(mean_up_seconds=100.0, mean_down_seconds=50.0, seed=1)
+        rng = random.Random(3)
+        # Same (peer, time) query always answers the same.
+        assert model.is_down(7, 123.0, rng) == model.is_down(7, 123.0, rng)
+
+    def test_state_is_correlated_in_time(self):
+        model = OnOffChurn(mean_up_seconds=1000.0, mean_down_seconds=1000.0, seed=2)
+        rng = random.Random(3)
+        flips = 0
+        for peer in range(50):
+            previous = model.is_down(peer, 0.0, rng)
+            for t in (1.0, 2.0, 3.0):
+                current = model.is_down(peer, t, rng)
+                flips += current != previous
+                previous = current
+        # With 1000 s mean durations, 1 s steps almost never flip.
+        assert flips <= 3
+
+    def test_long_run_availability_near_stationary(self):
+        model = OnOffChurn(mean_up_seconds=300.0, mean_down_seconds=100.0, seed=5)
+        rng = random.Random(4)
+        downs = 0
+        samples = 0
+        for peer in range(200):
+            for t in range(0, 5000, 250):
+                downs += model.is_down(peer, float(t), rng)
+                samples += 1
+        # stationary down fraction = 100 / 400 = 0.25
+        assert downs / samples == pytest.approx(0.25, abs=0.06)
+
+    def test_invalid_durations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnOffChurn(0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            OnOffChurn(10.0, -1.0)

@@ -1,0 +1,119 @@
+"""Behavioral tests for the supplier-churn extension (graceful departures)."""
+
+import pytest
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.system import StreamingSystem
+from repro.simulation.trace import TraceRecorder
+from repro.simulation.validation import audit_system
+
+HOUR = 3600.0
+
+
+def churn_config(**overrides):
+    defaults = dict(
+        seed_suppliers={1: 6},
+        requesting_peers={1: 10, 2: 10, 3: 40, 4: 40},
+        arrival_pattern=1,
+        master_seed=21,
+        supplier_mean_online_seconds=12 * HOUR,
+        supplier_mean_offline_seconds=4 * HOUR,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestConfig:
+    def test_churn_off_by_default(self):
+        assert SimulationConfig().supplier_mean_online_seconds is None
+
+    def test_invalid_durations_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(supplier_mean_online_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(supplier_mean_offline_seconds=-1.0)
+
+
+class TestDepartureDynamics:
+    @pytest.fixture(scope="class")
+    def run(self):
+        trace = TraceRecorder()
+        system = StreamingSystem(churn_config(), trace=trace)
+        metrics = system.run()
+        return system, metrics, trace
+
+    def test_departures_happen_and_are_counted(self, run):
+        system, metrics, trace = run
+        departures = sum(metrics.supplier_departures.values())
+        assert departures > 0
+        assert departures == trace.count("supplier_departed")
+
+    def test_rejoins_happen(self, run):
+        _system, metrics, trace = run
+        rejoins = sum(metrics.supplier_rejoins.values())
+        assert rejoins > 0
+        assert rejoins == trace.count("supplier_rejoined")
+
+    def test_ledger_matches_active_suppliers(self, run):
+        system, _metrics, _trace = run
+        active = [p for p in system.peers if p.is_active_supplier]
+        assert system.ledger.num_suppliers == len(active)
+        expected_units = sum(
+            system.ladder.offer_units(p.peer_class) for p in active
+        )
+        assert system.ledger.total_units == expected_units
+
+    def test_audit_still_clean_under_churn(self, run):
+        system, _metrics, trace = run
+        report = audit_system(system, trace)
+        assert report.ok, report.summary()
+
+    def test_capacity_series_can_dip(self, run):
+        # With churn the capacity curve is no longer monotone.
+        _system, metrics, _trace = run
+        values = [p.value for p in metrics.capacity_series]
+        dips = sum(1 for a, b in zip(values, values[1:]) if b < a)
+        assert dips > 0
+
+    def test_departures_are_graceful(self, run):
+        # No supplier departs mid-session: every admission's suppliers were
+        # active for the whole show time (checked by the T1 audit above);
+        # additionally, departed peers are never probed (they are
+        # unregistered), so no admission lists a departed supplier at its
+        # admission time.
+        system, _metrics, trace = run
+        departures_by_peer: dict[int, list[float]] = {}
+        for event in trace.of_kind("supplier_departed"):
+            departures_by_peer.setdefault(event["peer"], []).append(event["t"])
+        rejoins_by_peer: dict[int, list[float]] = {}
+        for event in trace.of_kind("supplier_rejoined"):
+            rejoins_by_peer.setdefault(event["peer"], []).append(event["t"])
+        show = system.media.show_seconds
+        for event in trace.of_kind("admission"):
+            start = event["t"]
+            for supplier_id in event["suppliers"]:
+                for depart_time in departures_by_peer.get(supplier_id, []):
+                    # a departure cannot fall strictly inside the session
+                    assert not (start < depart_time < start + show - 1e-6)
+
+
+class TestNoRejoin:
+    def test_without_rejoin_population_only_shrinks(self):
+        config = churn_config(
+            suppliers_rejoin=False,
+            supplier_mean_online_seconds=6 * HOUR,
+        )
+        system = StreamingSystem(config)
+        metrics = system.run()
+        assert sum(metrics.supplier_rejoins.values()) == 0
+        assert sum(metrics.supplier_departures.values()) > 0
+
+    def test_paper_mode_has_no_departures(self):
+        config = churn_config(supplier_mean_online_seconds=None)
+        system = StreamingSystem(config)
+        metrics = system.run()
+        assert sum(metrics.supplier_departures.values()) == 0
+        values = [p.value for p in metrics.capacity_series]
+        assert values == sorted(values)  # monotone without churn

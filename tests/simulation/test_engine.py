@@ -1,0 +1,122 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, fired.append, "late")
+        sim.schedule_at(1.0, fired.append, "early")
+        sim.schedule_at(3.0, fired.append, "middle")
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+        for label in "abcde":
+            sim.schedule_at(2.0, fired.append, label)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_schedule_in_is_relative(self):
+        sim = Simulator(start_time=10.0)
+        times = []
+        sim.schedule_in(5.0, lambda _: times.append(sim.now), None)
+        sim.run()
+        assert times == [15.0]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(9.0, print, None)
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, print, None)
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule_in(1.0, chain, n + 1)
+
+        sim.schedule_at(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestRunUntil:
+    def test_until_stops_clock_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, fired.append, "in")
+        sim.schedule_at(9.0, fired.append, "out")
+        sim.run(until=5.0)
+        assert fired == ["in"]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_event_exactly_at_horizon_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, fired.append, "edge")
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(9.0, fired.append, "late")
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == ["late"]
+        assert sim.now == 9.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(1.0, fired.append, "no")
+        sim.schedule_at(2.0, fired.append, "yes")
+        sim.cancel(handle)
+        sim.run()
+        assert fired == ["yes"]
+
+    def test_events_processed_counts_only_fired(self):
+        sim = Simulator()
+        handle = sim.schedule_at(1.0, lambda _: None, None)
+        sim.schedule_at(2.0, lambda _: None, None)
+        sim.cancel(handle)
+        sim.run()
+        assert sim.events_processed == 1
+
+
+class TestStep:
+    def test_step_processes_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, fired.append, "a")
+        sim.schedule_at(2.0, fired.append, "b")
+        assert sim.step() is True
+        assert fired == ["a"]
+
+    def test_step_on_empty_queue(self):
+        assert Simulator().step() is False
+
+    def test_step_skips_cancelled(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(1.0, fired.append, "no")
+        sim.schedule_at(2.0, fired.append, "yes")
+        sim.cancel(handle)
+        assert sim.step() is True
+        assert fired == ["yes"]

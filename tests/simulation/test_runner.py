@@ -1,0 +1,65 @@
+"""Unit tests for the experiment runner helpers."""
+
+import pytest
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import (
+    compare_protocols,
+    run_simulation,
+    sweep_parameter,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig(
+        seed_suppliers={1: 4},
+        requesting_peers={1: 10, 2: 10, 3: 40, 4: 40},
+        arrival_pattern=1,
+        master_seed=3,
+    )
+
+
+class TestRunSimulation:
+    def test_result_carries_config_and_metrics(self, config):
+        result = run_simulation(config)
+        assert result.config is config
+        assert result.events_processed > 0
+        assert result.wall_seconds > 0
+        assert result.message_stats["messages"] > 0
+
+    def test_max_capacity_accounts_whole_population(self, config):
+        result = run_simulation(config)
+        # 14 class-1 + 10 class-2 + 40 class-3 + 40 class-4
+        assert result.max_capacity == (14 * 8 + 10 * 4 + 40 * 2 + 40) // 16
+
+    def test_capacity_fraction_in_unit_interval(self, config):
+        result = run_simulation(config)
+        assert 0.0 < result.capacity_fraction_of_max <= 1.0
+
+    def test_summary_mentions_protocol_and_pattern(self, config):
+        text = run_simulation(config).summary()
+        assert "dac" in text and "pattern 1" in text
+
+
+class TestCompareProtocols:
+    def test_runs_both_protocols(self, config):
+        results = compare_protocols(config)
+        assert set(results) == {"dac", "ndac"}
+        assert results["dac"].config.protocol == "dac"
+        assert results["ndac"].config.protocol == "ndac"
+
+    def test_custom_protocol_list(self, config):
+        results = compare_protocols(config, protocols=("dac", "dac-no-reminder"))
+        assert set(results) == {"dac", "dac-no-reminder"}
+
+
+class TestSweep:
+    def test_sweep_replaces_parameter(self, config):
+        results = sweep_parameter(config, "probe_candidates", [4, 8])
+        assert results[4].config.probe_candidates == 4
+        assert results[8].config.probe_candidates == 8
+
+    def test_sweep_keys_preserve_values(self, config):
+        results = sweep_parameter(config, "e_bkf", [1.0, 2.0])
+        assert list(results) == [1.0, 2.0]

@@ -1,0 +1,61 @@
+"""Unit tests for structured event traces."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.simulation.trace import TraceRecorder, load_trace
+
+
+class TestInMemory:
+    def test_record_and_query(self):
+        trace = TraceRecorder()
+        trace.record("admission", 1.0, peer=1)
+        trace.record("rejection", 2.0, peer=2)
+        trace.record("admission", 3.0, peer=3)
+        assert trace.count("admission") == 2
+        assert [e["peer"] for e in trace.of_kind("admission")] == [1, 3]
+
+    def test_fields_flattened_into_event(self):
+        trace = TraceRecorder()
+        trace.record("x", 5.0, a=1, b="two")
+        assert trace.events[0] == {"kind": "x", "t": 5.0, "a": 1, "b": "two"}
+
+    def test_memory_can_be_disabled(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(keep_in_memory=False, path=path) as trace:
+            trace.record("x", 1.0)
+        assert trace.events == []
+        assert len(list(load_trace(path))) == 1
+
+
+class TestFileRoundtrip:
+    def test_write_and_load(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path=path) as trace:
+            trace.record("admission", 1.5, peer=42, suppliers=[1, 2])
+        events = list(load_trace(path))
+        assert events == [
+            {"kind": "admission", "t": 1.5, "peer": 42, "suppliers": [1, 2]}
+        ]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "a", "t": 1.0}\n\n{"kind": "b", "t": 2.0}\n')
+        assert [e["kind"] for e in load_trace(path)] == ["a", "b"]
+
+    def test_corrupt_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "a", "t": 1.0}\nnot json\n')
+        with pytest.raises(TraceError) as excinfo:
+            list(load_trace(path))
+        assert ":2:" in str(excinfo.value)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TraceError):
+            list(load_trace(tmp_path / "missing.jsonl"))
+
+    def test_unwritable_path_raises(self, tmp_path):
+        with pytest.raises(TraceError):
+            TraceRecorder(path=tmp_path / "no-such-dir" / "trace.jsonl")

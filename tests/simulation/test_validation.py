@@ -1,0 +1,123 @@
+"""Unit tests for the post-run invariant auditor."""
+
+import pytest
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.system import StreamingSystem
+from repro.simulation.trace import TraceRecorder
+from repro.simulation.validation import AuditReport, audit_system
+
+HOUR = 3600.0
+
+
+@pytest.fixture(scope="module")
+def finished_system():
+    config = SimulationConfig(
+        seed_suppliers={1: 4},
+        requesting_peers={1: 10, 2: 10, 3: 40, 4: 40},
+        arrival_pattern=1,
+        master_seed=11,
+    )
+    trace = TraceRecorder()
+    system = StreamingSystem(config, trace=trace)
+    system.run()
+    return system, trace
+
+
+class TestCleanRunPasses:
+    def test_state_audit_clean(self, finished_system):
+        system, _trace = finished_system
+        report = audit_system(system)
+        assert report.ok, report.summary()
+        assert report.checks_run > 100
+
+    def test_trace_audit_clean(self, finished_system):
+        system, trace = finished_system
+        report = audit_system(system, trace)
+        assert report.ok, report.summary()
+
+    def test_summary_mentions_checks(self, finished_system):
+        system, trace = finished_system
+        text = audit_system(system, trace).summary()
+        assert "audit ok" in text
+
+    def test_ndac_run_also_clean(self):
+        config = SimulationConfig(
+            seed_suppliers={1: 4},
+            requesting_peers={1: 10, 2: 10, 3: 40, 4: 40},
+            arrival_pattern=1,
+            protocol="ndac",
+            master_seed=11,
+        )
+        trace = TraceRecorder()
+        system = StreamingSystem(config, trace=trace)
+        system.run()
+        assert audit_system(system, trace).ok
+
+
+class TestViolationsDetected:
+    def test_ledger_drift_detected(self, finished_system):
+        system, _trace = finished_system
+        system.ledger.total_units += 1
+        report = audit_system(system)
+        system.ledger.total_units -= 1  # restore for other tests
+        assert not report.ok
+        assert any(v.invariant == "S3" for v in report.violations)
+
+    def test_theorem1_mismatch_detected(self, finished_system):
+        system, _trace = finished_system
+        victim = next(p for p in system.peers if p.buffering_delay_slots)
+        original = victim.buffering_delay_slots
+        victim.buffering_delay_slots = original + 1
+        report = audit_system(system)
+        victim.buffering_delay_slots = original
+        assert any(v.invariant == "S4" for v in report.violations)
+
+    def test_double_booked_supplier_detected(self, finished_system):
+        system, _trace = finished_system
+        trace = TraceRecorder()
+        supplier_ids = [p.peer_id for p in system.peers if p.is_seed][:2]
+        # Two overlapping admissions using the same suppliers.
+        trace.record("admission", 100.0, peer=9, suppliers=supplier_ids)
+        trace.record("admission", 200.0, peer=10, suppliers=supplier_ids)
+        report = audit_system(system, trace)
+        assert any(v.invariant == "T1" for v in report.violations)
+
+    def test_under_provisioned_session_detected(self, finished_system):
+        system, _trace = finished_system
+        trace = TraceRecorder()
+        seed = next(p for p in system.peers if p.is_seed)
+        trace.record("admission", 100.0, peer=9, suppliers=[seed.peer_id])
+        report = audit_system(system, trace)
+        assert any(v.invariant == "T2" for v in report.violations)
+
+    def test_wrong_backoff_detected(self, finished_system):
+        system, _trace = finished_system
+        trace = TraceRecorder()
+        trace.record(
+            "rejection", 50.0, peer=9, peer_class=3, rejections=2,
+            backoff_seconds=999.0,
+        )
+        report = audit_system(system, trace)
+        assert any(v.invariant == "T3" for v in report.violations)
+
+    def test_time_travel_detected(self, finished_system):
+        system, _trace = finished_system
+        trace = TraceRecorder()
+        trace.record("rejection", 50.0, peer=1, peer_class=3, rejections=1,
+                     backoff_seconds=600.0)
+        trace.record("rejection", 10.0, peer=2, peer_class=3, rejections=1,
+                     backoff_seconds=600.0)
+        report = audit_system(system, trace)
+        assert any(v.invariant == "T4" for v in report.violations)
+
+
+class TestReportMechanics:
+    def test_empty_report_is_ok(self):
+        assert AuditReport().ok
+
+    def test_add_flips_ok(self):
+        report = AuditReport()
+        report.add("S1", "boom")
+        assert not report.ok
+        assert "boom" in report.summary()

@@ -1,0 +1,43 @@
+"""Unit tests for the CBR media-file model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streaming.media import MediaFile
+
+
+class TestGeometry:
+    def test_paper_defaults(self):
+        media = MediaFile()
+        assert media.show_seconds == 3600.0
+        assert media.num_segments == 720  # 60 min / 5 s
+
+    def test_num_segments_exact_division_required(self):
+        with pytest.raises(ConfigurationError):
+            MediaFile(show_seconds=100.0, segment_seconds=7.0)
+
+    def test_segment_bits_is_rate_times_slot(self):
+        media = MediaFile(playback_bps=2_000_000.0, segment_seconds=4.0,
+                          show_seconds=3600.0)
+        assert media.segment_bits == 8_000_000.0
+        assert media.total_bits == media.segment_bits * media.num_segments
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MediaFile(show_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            MediaFile(segment_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            MediaFile(playback_bps=0.0)
+
+
+class TestConversions:
+    def test_slots_seconds_roundtrip(self):
+        media = MediaFile(segment_seconds=5.0)
+        assert media.slots_to_seconds(4) == 20.0
+        assert media.seconds_to_slots(20.0) == 4.0
+
+    def test_playback_deadline(self):
+        media = MediaFile(segment_seconds=5.0)
+        # playback starts at slot 4; segment 10 plays at slot 14 = 70 s
+        assert media.playback_deadline_seconds(10, 4) == 70.0

@@ -1,0 +1,61 @@
+"""Unit tests for the slot-by-slot playback simulation."""
+
+import pytest
+
+from repro.core.assignment import contiguous_assignment, ots_assignment
+from repro.core.schedule import min_start_delay_slots
+from repro.errors import SchedulingError
+from repro.streaming.media import MediaFile
+from repro.streaming.playback import (
+    empirical_min_delay_slots,
+    simulate_playback,
+)
+from tests.conftest import offers_from_classes, random_feasible_classes
+
+
+class TestSimulatePlayback:
+    def test_continuous_at_analytic_delay(self, ladder):
+        assignment = ots_assignment(offers_from_classes([1, 2, 3, 3], ladder), ladder)
+        result = simulate_playback(assignment, start_delay_slots=4)
+        assert result.continuous
+        assert result.stalled_segments == ()
+
+    def test_stalls_below_analytic_delay(self, ladder):
+        assignment = ots_assignment(offers_from_classes([1, 2, 3, 3], ladder), ladder)
+        result = simulate_playback(assignment, start_delay_slots=3)
+        assert not result.continuous
+        assert len(result.stalled_segments) > 0
+
+    def test_buffered_at_start_counts_early_arrivals(self, ladder):
+        assignment = ots_assignment(offers_from_classes([1, 1], ladder), ladder)
+        result = simulate_playback(assignment, start_delay_slots=2, num_segments=2)
+        assert result.buffered_at_start == 2  # both arrive exactly at slot 2
+
+    def test_media_sets_default_horizon(self, ladder):
+        media = MediaFile(show_seconds=200.0, segment_seconds=5.0)
+        assignment = ots_assignment(offers_from_classes([1, 1], ladder), ladder)
+        result = simulate_playback(assignment, 2, media=media)
+        assert len(result.arrival_slots) == media.num_segments
+
+    def test_negative_delay_rejected(self, ladder):
+        assignment = ots_assignment(offers_from_classes([1, 1], ladder), ladder)
+        with pytest.raises(SchedulingError):
+            simulate_playback(assignment, start_delay_slots=-1)
+
+
+class TestEmpiricalMinDelay:
+    def test_matches_analytic_on_paper_example(self, ladder):
+        offers = offers_from_classes([1, 2, 3, 3], ladder)
+        for algorithm in (ots_assignment, contiguous_assignment):
+            assignment = algorithm(offers, ladder)
+            assert empirical_min_delay_slots(assignment) == min_start_delay_slots(
+                assignment
+            )
+
+    def test_matches_analytic_on_random_sets(self, ladder, rng):
+        for _ in range(20):
+            classes = random_feasible_classes(rng, ladder)
+            assignment = ots_assignment(offers_from_classes(classes, ladder), ladder)
+            assert empirical_min_delay_slots(assignment) == min_start_delay_slots(
+                assignment
+            )

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scale == 0.1
+        assert args.pattern == 2
+        assert args.protocol == "dac"
+
+
+class TestCommands:
+    def test_assignment_command(self, capsys):
+        assert main(["assignment", "1", "2", "3", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "OTS_p2p (optimal): buffering delay 4 x dt" in out
+        assert "contiguous (Assignment I): buffering delay 5 x dt" in out
+
+    def test_assignment_command_rejects_infeasible(self, capsys):
+        assert main(["assignment", "1", "2"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_patterns_command(self, capsys):
+        assert main(["patterns", "--peers", "500"]) == 0
+        out = capsys.readouterr().out
+        for pattern_id in (1, 2, 3, 4):
+            assert f"Arrival pattern {pattern_id}" in out
+
+    def test_run_command_small(self, capsys):
+        assert main(["run", "--scale", "0.004", "--pattern", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "avg rejections" in out
+        assert "capacity" in out
+
+    def test_run_with_figures(self, capsys):
+        code = main(
+            ["run", "--scale", "0.004", "--pattern", "1", "--figures"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "Figure 6" in out
+
+    def test_compare_command_small(self, capsys):
+        assert main(["compare", "--scale", "0.004", "--pattern", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Table 1" in out
+
+    def test_sweep_command_small(self, capsys):
+        code = main(
+            ["sweep", "e_bkf", "1", "2", "--scale", "0.004", "--pattern", "1"]
+        )
+        assert code == 0
+        assert "E_bkf=1" in capsys.readouterr().out
+
+    def test_experiment_listing(self, capsys):
+        assert main(["experiment"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "table1" in out
+
+    def test_experiment_fig1(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        assert "Assignment I" in capsys.readouterr().out
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "fig99", "--scale", "0.004"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_with_custom_seed_and_protocol(self, capsys):
+        code = main(
+            ["run", "--scale", "0.004", "--seed", "99", "--protocol", "ndac"]
+        )
+        assert code == 0
+        assert "ndac" in capsys.readouterr().out

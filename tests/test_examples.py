@@ -1,0 +1,74 @@
+"""Smoke tests: every example script runs clean at a tiny scale.
+
+Examples are documentation that executes; these tests keep them from
+rotting as the library evolves.  Each runs in a subprocess exactly as a
+user would invoke it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "buffering delay: 4 slots" in result.stdout
+        assert "capacity" in result.stdout
+
+    def test_assignment_playground_default(self):
+        result = run_example("assignment_playground.py")
+        assert result.returncode == 0, result.stderr
+        assert "buffering delay: 5 x dt" in result.stdout
+        assert "buffering delay: 4 x dt" in result.stdout
+
+    def test_assignment_playground_custom_classes(self):
+        result = run_example("assignment_playground.py", "1", "3", "3", "3", "4", "4")
+        assert result.returncode == 0, result.stderr
+
+    def test_assignment_playground_rejects_infeasible(self):
+        result = run_example("assignment_playground.py", "1", "2")
+        assert result.returncode != 0
+
+    def test_flash_crowd(self):
+        result = run_example("flash_crowd.py", "--scale", "0.01")
+        assert result.returncode == 0, result.stderr
+        assert "Capacity race" in result.stdout
+
+    def test_chord_lookup_demo(self):
+        result = run_example("chord_lookup_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "mean routing hops" in result.stdout
+
+    def test_incentive_study(self):
+        result = run_example("incentive_study.py", "--scale", "0.01")
+        assert result.returncode == 0, result.stderr
+        assert "hiding bandwidth" in result.stdout.lower()
+
+    def test_trace_analysis(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        result = run_example(
+            "trace_analysis.py", "--scale", "0.01", "--save", str(trace_path)
+        )
+        assert result.returncode == 0, result.stderr
+        assert "audit ok" in result.stdout
+        assert trace_path.exists()
+
+    def test_fluid_vs_simulation(self):
+        result = run_example("fluid_vs_simulation.py", "--scale", "0.01")
+        assert result.returncode == 0, result.stderr
+        assert "fluid envelope" in result.stdout

@@ -1,0 +1,159 @@
+"""Exact reproductions of every worked example in the paper's text.
+
+These tests pin the implementation to the paper: if any of them fails, the
+reproduction has drifted from the published system.
+"""
+
+import pytest
+
+from repro.core.admission import AdmissionVector
+from repro.core.assignment import (
+    contiguous_assignment,
+    ots_assignment,
+    sweep_assignment,
+)
+from repro.core.capacity import CapacityLedger
+from repro.core.model import ClassLadder
+from repro.core.schedule import min_start_delay_slots
+from repro.core.theorems import theorem1_min_delay_slots
+from tests.conftest import offers_from_classes
+
+
+@pytest.fixture
+def ladder():
+    return ClassLadder(4)
+
+
+class TestFigure1:
+    """Figure 1: two assignments for suppliers of classes 1, 2, 3, 3."""
+
+    def test_assignment_one_delay_is_5dt(self, ladder):
+        assignment = contiguous_assignment(
+            offers_from_classes([1, 2, 3, 3], ladder), ladder
+        )
+        assert min_start_delay_slots(assignment) == 5
+
+    def test_assignment_two_delay_is_4dt(self, ladder):
+        assignment = sweep_assignment(
+            offers_from_classes([1, 2, 3, 3], ladder), ladder
+        )
+        assert min_start_delay_slots(assignment) == 4
+
+    def test_assignment_one_exact_blocks(self, ladder):
+        # "Ps1 is assigned segments 8k..8k+3; Ps2: 8k+4, 8k+5; Ps3: 8k+6;
+        #  Ps4: 8k+7"
+        assignment = contiguous_assignment(
+            offers_from_classes([1, 2, 3, 3], ladder), ladder
+        )
+        assert assignment.segment_lists == ((0, 1, 2, 3), (4, 5), (6,), (7,))
+
+    def test_assignment_two_exact_lists(self, ladder):
+        assignment = sweep_assignment(
+            offers_from_classes([1, 2, 3, 3], ladder), ladder
+        )
+        assert assignment.segment_lists == ((0, 1, 3, 7), (2, 6), (5,), (4,))
+
+
+class TestSection3WhileIterations:
+    """Section 3's narration of the Figure-2 loop, iteration by iteration."""
+
+    def test_iteration_narrative(self, ladder):
+        assignment = sweep_assignment(
+            offers_from_classes([1, 2, 3, 3], ladder), ladder
+        )
+        ps1, ps2, ps3, ps4 = assignment.segment_lists
+        # iteration 1: 7 -> Ps1, 6 -> Ps2, 5 -> Ps3, 4 -> Ps4
+        assert 7 in ps1 and 6 in ps2 and ps3 == (5,) and ps4 == (4,)
+        # iteration 2: 3 -> Ps1, 2 -> Ps2 (Ps2 done)
+        assert 3 in ps1 and ps2 == (2, 6)
+        # iterations 3 and 4: 1 and 0 -> Ps1
+        assert ps1 == (0, 1, 3, 7)
+
+
+class TestTheorem1:
+    """Theorem 1: minimum buffering delay is n · δt."""
+
+    def test_figure1_minimum_is_four(self, ladder):
+        offers = offers_from_classes([1, 2, 3, 3], ladder)
+        assert theorem1_min_delay_slots(len(offers)) == 4
+        assert min_start_delay_slots(ots_assignment(offers, ladder)) == 4
+
+    def test_buffering_delay_equals_supplier_count(self, ladder):
+        # "the buffering delay of a peer-to-peer streaming session is equal
+        #  to δt multiplied by the number of participating supplying peers"
+        for classes in ([1, 1], [1, 2, 2], [2, 2, 2, 2], [1, 2, 3, 4, 4]):
+            offers = offers_from_classes(classes, ladder)
+            assignment = ots_assignment(offers, ladder)
+            assert min_start_delay_slots(assignment) == len(classes)
+
+
+class TestFigure3:
+    """Figure 3: admission order changes capacity growth."""
+
+    @pytest.fixture
+    def initial_ledger(self, ladder):
+        # two class-2 peers (Ps1, Ps2) and two class-1 peers (Ps3, Ps4)
+        ledger = CapacityLedger(ladder)
+        for peer_class in (2, 2, 1, 1):
+            ledger.add_supplier(peer_class)
+        return ledger
+
+    def test_capacity_at_t0_is_one(self, initial_ledger):
+        assert initial_ledger.sessions == 1
+
+    def test_admitting_class1_first_reaches_capacity_two(self, initial_ledger):
+        # Admit Pr3 (class 1): after one show time it joins the suppliers.
+        initial_ledger.add_supplier(1)
+        assert initial_ledger.sessions == 2
+        # Both Pr1 and Pr2 (class 2) can now be admitted simultaneously;
+        # after they finish, the fractional capacity is 2.5 (floor 2).
+        initial_ledger.add_supplier(2)
+        initial_ledger.add_supplier(2)
+        assert initial_ledger.sessions_fractional == 2.5
+        assert initial_ledger.sessions == 2
+
+    def test_admitting_class2_first_stays_at_one(self, initial_ledger):
+        initial_ledger.add_supplier(2)
+        assert initial_ledger.sessions == 1
+
+    def test_waiting_time_comparison(self):
+        # first sequence: waits 0, T, 2T -> average T
+        assert (0 + 1 + 2) / 3 == 1.0
+        # second sequence: Pr3 waits 0, Pr1 and Pr2 wait T -> average 2T/3
+        assert (1 + 1 + 0) / 3 == pytest.approx(2.0 / 3.0)
+
+
+class TestSection41VectorExample:
+    """Section 4.1's probability-vector worked example."""
+
+    def test_class2_initial_vector(self, ladder):
+        # "for a class-2 supplying peer (N = 4), its initial admission
+        #  probability vector is [1.0, 1.0, 0.5, 0.25], and its initial
+        #  favored classes are classes 1 and 2"
+        vector = AdmissionVector.initial(2, ladder)
+        assert vector.probabilities == [1.0, 1.0, 0.5, 0.25]
+        assert vector.favored_classes() == [1, 2]
+
+
+class TestSection51Setup:
+    """Section 5.1's simulation constants."""
+
+    def test_paper_configuration_constants(self):
+        from repro.simulation.config import SimulationConfig
+
+        config = SimulationConfig()
+        assert config.total_peers == 50_100
+        assert sum(config.seed_suppliers.values()) == 100
+        assert config.probe_candidates == 8          # M = 8
+        assert config.t_out_seconds == 20 * 60        # T_out = 20 min
+        assert config.t_bkf_seconds == 10 * 60        # T_bkf = 10 min
+        assert config.e_bkf == 2.0                    # E_bkf = 2
+        assert config.media.show_seconds == 60 * 60   # 60-minute video
+
+    def test_backoff_schedule_from_paper(self):
+        # "after the i-th rejection, a requesting peer will back off
+        #  10 * 2**(i-1) minutes before retry"
+        from repro.core.requesting import backoff_delay
+
+        minutes = [backoff_delay(i, 600.0, 2.0) / 60 for i in (1, 2, 3, 4)]
+        assert minutes == [10, 20, 40, 80]
