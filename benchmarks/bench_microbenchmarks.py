@@ -16,7 +16,7 @@ from repro.core.assignment import ots_assignment
 from repro.core.model import ClassLadder, SupplierOffer
 from repro.network.chord import ChordRing
 from repro.network.directory import CentralDirectory
-from repro.simulation.config import SimulationConfig
+from repro.scenarios import get_scenario
 from repro.simulation.engine import Simulator
 from repro.simulation.system import StreamingSystem
 
@@ -92,7 +92,7 @@ def test_ots_assignment_paper_ladder(benchmark):
 
 def test_simulator_end_to_end_throughput(benchmark):
     """Protocol events per second on a 1,002-peer full run."""
-    config = SimulationConfig().scaled(0.02)
+    config = get_scenario("paper_default").build_config(scale=0.02)
 
     def run():
         system = StreamingSystem(config)

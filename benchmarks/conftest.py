@@ -24,6 +24,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.scenarios import get_scenario
 from repro.simulation.config import SimulationConfig
 from repro.simulation.runner import SimulationResult, run_simulation
 
@@ -38,11 +39,10 @@ def repro_scale() -> float:
 
 
 def paper_config(**overrides: object) -> SimulationConfig:
-    """The paper's configuration at benchmark scale, with overrides."""
-    config = SimulationConfig().scaled(repro_scale())
-    if overrides:
-        config = config.replace(**overrides)
-    return config
+    """The paper's workload (scenario registry) at benchmark scale."""
+    return get_scenario("paper_default").build_config(
+        scale=repro_scale(), **overrides
+    )
 
 
 def cached_run(config: SimulationConfig) -> SimulationResult:

@@ -2,31 +2,36 @@
 """Flash crowd — a movie premiere served by a self-growing P2P system.
 
 The scenario the paper's introduction motivates: a popular video goes live
-with only a hundred seed suppliers while tens of thousands of peers arrive
-in periodic waves (arrival pattern 4 — think time zones hitting the evening
-hours).  A fixed server farm would need capacity for the peak; the
-peer-to-peer system *grows its own capacity* out of the audience.
+with only a hundred seed suppliers while tens of thousands of peers pile
+in right at release (the registry's ``flash_crowd`` scenario — an initial
+arrival burst followed by a long tail).  A fixed server farm would need
+capacity for the peak; the peer-to-peer system *grows its own capacity*
+out of the audience.
 
 The example compares DAC_p2p against NDAC_p2p and prints the capacity race,
 per-class service quality, and the signalling bill.
 
-Run:  python examples/flash_crowd.py [--scale 0.05]
+Run:  python examples/flash_crowd.py [--scale 0.05] [--scenario diurnal]
 """
 
 import argparse
 
-from repro import SimulationConfig, compare_protocols
+from repro import compare_protocols
 from repro.analysis.plots import ascii_chart, render_table
 from repro.analysis.stats import value_at_hour
+from repro.scenarios import get_scenario, scenario_names
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.05,
                         help="population scale (1.0 = 50,100 peers)")
+    parser.add_argument("--scenario", default="flash_crowd",
+                        choices=scenario_names(),
+                        help="workload to premiere under")
     args = parser.parse_args()
 
-    config = SimulationConfig(arrival_pattern=4).scaled(args.scale)
+    config = get_scenario(args.scenario).build_config(scale=args.scale)
     print("Scenario:", config.describe())
     print(f"Peers: {config.total_peers}; if every peer eventually supplies, "
           "capacity grows ~15x beyond the seeds.\n")

@@ -13,10 +13,11 @@ Run:  python examples/fluid_vs_simulation.py [--scale 0.05] [--pattern 2]
 
 import argparse
 
-from repro import SimulationConfig, compare_protocols
+from repro import compare_protocols
 from repro.analysis.fluid import fluid_capacity_model, mean_offer_sessions
 from repro.analysis.plots import ascii_chart, render_table
 from repro.analysis.stats import area_under_series, value_at_hour
+from repro.scenarios import scenario_for_pattern
 
 
 def main() -> None:
@@ -25,7 +26,7 @@ def main() -> None:
     parser.add_argument("--pattern", type=int, default=2, choices=[1, 2, 3, 4])
     args = parser.parse_args()
 
-    config = SimulationConfig(arrival_pattern=args.pattern).scaled(args.scale)
+    config = scenario_for_pattern(args.pattern).build_config(scale=args.scale)
     print("Workload:", config.describe())
     print(f"Mean requester offer: {mean_offer_sessions(config):.3f} sessions/peer "
           "(the feedback gain of the self-growing loop)\n")

@@ -20,16 +20,22 @@ Run:  python examples/incentive_study.py [--scale 0.05]
 
 import argparse
 
-from repro import SimulationConfig, run_simulation
+from repro import run_simulation
 from repro.analysis.plots import render_table
 from repro.analysis.stats import value_at_hour
+from repro.scenarios import get_scenario
 
 
 def build_configs(scale: float):
-    truthful = SimulationConfig(arrival_pattern=2).scaled(scale)
-    total_high = (
-        truthful.requesting_peers[1] + truthful.requesting_peers[2]
-    )
+    """Truthful world from the registry; lying world derived from it.
+
+    Deriving (rather than scaling the ``underreporting`` scenario
+    independently) keeps both worlds' populations *identical* peer for
+    peer at any scale — the defectors merely relabel themselves class 4,
+    so any outcome difference is attributable to the hiding alone.
+    """
+    truthful = get_scenario("paper_default").build_config(scale=scale)
+    total_high = truthful.requesting_peers[1] + truthful.requesting_peers[2]
     lying = truthful.replace(
         requesting_peers={
             1: 0,

@@ -14,7 +14,6 @@ Run:  python examples/quickstart.py
 from repro import (
     ClassLadder,
     MediaFile,
-    SimulationConfig,
     SupplierOffer,
     min_start_delay_slots,
     ots_assignment,
@@ -22,6 +21,7 @@ from repro import (
     run_simulation,
     theorem1_min_delay_slots,
 )
+from repro.scenarios import get_scenario
 
 
 def part1_media_assignment() -> None:
@@ -68,8 +68,9 @@ def part2_capacity_amplification() -> None:
     print("Part 2 — capacity amplification (DAC_p2p)")
     print("=" * 70)
 
-    # 1/50th of the paper's population so this runs in a couple of seconds.
-    config = SimulationConfig().scaled(0.02)
+    # The paper's workload from the scenario registry, at 1/50th of the
+    # population so this runs in a couple of seconds.
+    config = get_scenario("paper_default").build_config(scale=0.02)
     print(config.describe())
     result = run_simulation(config)
     print(result.summary())

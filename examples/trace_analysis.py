@@ -16,8 +16,8 @@ Run:  python examples/trace_analysis.py [--scale 0.02] [--save trace.jsonl]
 import argparse
 from collections import Counter
 
-from repro import SimulationConfig
 from repro.analysis.plots import render_table, sparkline
+from repro.scenarios import get_scenario, scenario_names
 from repro.simulation.system import StreamingSystem
 from repro.simulation.trace import TraceRecorder
 from repro.simulation.validation import audit_system
@@ -28,11 +28,13 @@ HOUR = 3600.0
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--scenario", default="diurnal", choices=scenario_names(),
+                        help="workload to trace")
     parser.add_argument("--save", type=str, default=None,
                         help="also write the trace as JSON Lines")
     args = parser.parse_args()
 
-    config = SimulationConfig(arrival_pattern=4).scaled(args.scale)
+    config = get_scenario(args.scenario).build_config(scale=args.scale)
     print("Run:", config.describe())
 
     trace = TraceRecorder(path=args.save) if args.save else TraceRecorder()

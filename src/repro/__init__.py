@@ -45,6 +45,8 @@ from repro.core.admission import AdmissionVector, SupplierAdmissionState
 from repro.core.capacity import CapacityLedger, max_capacity_sessions
 from repro.streaming.media import MediaFile
 from repro.streaming.session import StreamingSession, plan_session
+from repro.orchestration.batch import run_batch
+from repro.scenarios import Scenario, get_scenario, scenario_names
 from repro.simulation.config import SimulationConfig
 from repro.simulation.runner import (
     SimulationResult,
@@ -90,4 +92,9 @@ __all__ = [
     "run_simulation",
     "compare_protocols",
     "sweep_parameter",
+    # scenarios and orchestration
+    "Scenario",
+    "get_scenario",
+    "scenario_names",
+    "run_batch",
 ]

@@ -16,13 +16,14 @@ error bars on any of the paper's figures.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.analysis.stats import mean_confidence_interval, value_at_hour
+from repro.orchestration.batch import run_batch
 from repro.simulation.config import SimulationConfig
 from repro.simulation.metrics import SeriesPoint
-from repro.simulation.runner import SimulationResult, run_simulation
+from repro.simulation.runner import SimulationResult
 
 __all__ = ["ScalarSummary", "SeriesEnvelope", "ReplicatedResult", "replicate"]
 
@@ -113,11 +114,14 @@ def replicate(
     config: SimulationConfig,
     replications: int = 5,
     seed_stride: int = 1,
+    jobs: int = 1,
 ) -> ReplicatedResult:
     """Run ``config`` under ``replications`` derived master seeds.
 
     Seeds are ``master_seed + i * seed_stride`` so replications are
-    reproducible and disjoint; every other parameter is shared.
+    reproducible and disjoint; every other parameter is shared.  With
+    ``jobs>1`` the seeds run on worker processes; results keep seed order
+    and are identical to the serial path.
     """
     if replications < 1:
         raise ValueError(f"need at least one replication, got {replications}")
@@ -125,6 +129,8 @@ def replicate(
         config.master_seed + i * seed_stride for i in range(replications)
     )
     results = tuple(
-        run_simulation(config.replace(master_seed=seed)) for seed in seeds
+        run_batch(
+            [config.replace(master_seed=seed) for seed in seeds], jobs=jobs
+        )
     )
     return ReplicatedResult(config=config, seeds=seeds, results=results)

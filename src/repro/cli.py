@@ -5,17 +5,24 @@ Commands
 ``run``
     One simulation run; prints the summary and (optionally) figure reports.
 ``compare``
-    DAC vs NDAC under one pattern; prints Figure 4/5/6 style output.
+    DAC vs NDAC under one workload; prints Figure 4/5/6 style output.
 ``sweep``
     Parameter sweep (M, T_out, E_bkf, …) printing Figure 8/9 style output.
+``replicate``
+    Multi-seed replication with mean ± CI summaries.
+``scenarios``
+    List every registered workload scenario.
 ``assignment``
     OTS_p2p vs baselines on a supplier set given as classes, e.g.
     ``repro-p2pstream assignment 1 2 3 3``.
 ``patterns``
     Show the four arrival patterns as ASCII histograms.
 
-Every command accepts ``--scale`` so full paper scale (1.0) or quick runs
-(0.05) are one flag away.
+Simulation commands pick their workload with ``--scenario NAME`` (see
+``scenarios``) or the legacy ``--pattern N`` shorthand, and accept
+``--scale`` so full paper scale (1.0) or quick runs (0.05) are one flag
+away.  ``compare``/``sweep``/``replicate`` take ``--jobs N`` to fan their
+independent runs out over worker processes.
 """
 
 from __future__ import annotations
@@ -33,6 +40,12 @@ from repro.core.assignment import (
 from repro.core.model import ClassLadder, SupplierOffer
 from repro.core.schedule import min_start_delay_slots
 from repro.errors import P2PStreamError
+from repro.scenarios import (
+    all_scenarios,
+    get_scenario,
+    scenario_for_pattern,
+    scenario_names,
+)
 from repro.simulation.arrivals import arrivals_per_bin, generate_arrival_times, make_pattern
 from repro.simulation.config import SimulationConfig
 from repro.simulation.metrics import SeriesPoint
@@ -52,26 +65,54 @@ def build_parser() -> argparse.ArgumentParser:
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--scale", type=float, default=0.1,
                        help="population scale (1.0 = paper's 50,100 peers)")
-        p.add_argument("--pattern", type=int, default=2, choices=[1, 2, 3, 4],
-                       help="first-request arrival pattern")
+        p.add_argument("--scenario", choices=scenario_names(), default=None,
+                       help="workload scenario (see the 'scenarios' command)")
+        p.add_argument("--pattern", type=int, default=None, choices=[1, 2, 3, 4],
+                       help="first-request arrival pattern (default: 2, "
+                            "or the scenario's own pattern)")
         p.add_argument("--seed", type=int, default=None, help="master RNG seed")
-        p.add_argument("--lookup", choices=["directory", "chord"], default="directory")
+        p.add_argument("--lookup", choices=["directory", "chord"], default=None,
+                       help="lookup substrate (default: the scenario's)")
+
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=positive_int, default=1,
+                       help="worker processes for independent runs (default 1)")
 
     run_p = sub.add_parser("run", help="run one simulation")
     add_common(run_p)
-    run_p.add_argument("--protocol", default="dac",
-                       help="admission policy name (dac, ndac, dac-no-reminder, ...)")
+    run_p.add_argument("--protocol", default=None,
+                       help="admission policy name (dac, ndac, dac-no-reminder, "
+                            "...; default: the scenario's, normally dac)")
     run_p.add_argument("--figures", action="store_true",
                        help="print Figure 5/6/7 reports for the run")
 
     cmp_p = sub.add_parser("compare", help="DAC vs NDAC comparison")
     add_common(cmp_p)
+    add_jobs(cmp_p)
 
     sweep_p = sub.add_parser("sweep", help="parameter sweep")
     add_common(sweep_p)
+    add_jobs(sweep_p)
     sweep_p.add_argument("parameter",
                          choices=["probe_candidates", "t_out_seconds", "e_bkf"])
     sweep_p.add_argument("values", nargs="+", type=float, help="values to sweep")
+
+    rep_p = sub.add_parser("replicate", help="multi-seed replication")
+    add_common(rep_p)
+    add_jobs(rep_p)
+    rep_p.add_argument("--replications", type=positive_int, default=3,
+                       help="number of derived master seeds (default 3)")
+    rep_p.add_argument("--protocol", default=None,
+                       help="admission policy to replicate (default: the "
+                            "scenario's, normally dac)")
+
+    sub.add_parser("scenarios", help="list the registered workload scenarios")
 
     asg_p = sub.add_parser("assignment", help="compare assignment algorithms")
     asg_p.add_argument("classes", nargs="+", type=int,
@@ -93,14 +134,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _make_config(args: argparse.Namespace, **extra: object) -> SimulationConfig:
-    config = SimulationConfig(arrival_pattern=args.pattern, lookup=args.lookup, **extra)
+    """Expand the workload selection flags to a scaled configuration.
+
+    ``--scenario`` picks a registered scenario; ``--pattern`` without a
+    scenario maps to the canonical paper-population scenario of that
+    arrival pattern (pattern 2 when neither flag is given).  Explicit
+    ``--pattern``/``--lookup``/``--seed``/``--protocol`` override the
+    scenario's values.
+    """
+    if args.scenario is not None:
+        scenario = get_scenario(args.scenario)
+    else:
+        scenario = scenario_for_pattern(args.pattern if args.pattern else 2)
+    if args.pattern is not None:
+        extra["arrival_pattern"] = args.pattern
+    if args.lookup is not None:
+        extra["lookup"] = args.lookup
     if args.seed is not None:
-        config = config.replace(master_seed=args.seed)
-    return config.scaled(args.scale)
+        extra["master_seed"] = args.seed
+    if getattr(args, "protocol", None) is not None:
+        extra["protocol"] = args.protocol
+    return scenario.build_config(scale=args.scale, **extra)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = _make_config(args, protocol=args.protocol)
+    config = _make_config(args)
     print(config.describe())
     result = run_simulation(config)
     print(result.summary())
@@ -124,10 +182,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _make_config(args)
     print(config.describe())
-    results = compare_protocols(config)
-    print(report.figure4_report(results, pattern=args.pattern))
+    results = compare_protocols(config, jobs=args.jobs)
+    pattern = config.arrival_pattern
+    print(report.figure4_report(results, pattern=pattern))
     print()
-    print(report.table1_report({(name, args.pattern): r for name, r in results.items()}))
+    print(report.table1_report({(name, pattern): r for name, r in results.items()}))
     return 0
 
 
@@ -136,12 +195,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     values: list[object] = [
         int(v) if args.parameter == "probe_candidates" else v for v in args.values
     ]
-    results = sweep_parameter(config, args.parameter, values)
+    results = sweep_parameter(config, args.parameter, values, jobs=args.jobs)
     if args.parameter == "e_bkf":
         print(report.figure9_report(results))
     else:
         label = {"probe_candidates": "M", "t_out_seconds": "T_out"}[args.parameter]
         print(report.figure8_report(results, parameter_label=label))
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from repro.analysis.replication import replicate
+
+    config = _make_config(args)
+    print(config.describe())
+    replicated = replicate(
+        config, replications=args.replications, jobs=args.jobs
+    )
+    print(f"seeds: {', '.join(str(s) for s in replicated.seeds)}")
+    rows = [["final capacity", str(replicated.final_capacity())]]
+    for peer_class in sorted(config.requesting_peers):
+        if config.requesting_peers[peer_class]:
+            rows.append([
+                f"class {peer_class} rejections",
+                str(replicated.rejections_of_class(peer_class)),
+            ])
+    print(render_table(
+        ["metric", "mean ± 95% CI"], rows,
+        title=f"{args.replications}-seed replication",
+    ))
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    print("registered scenarios:")
+    for scenario in all_scenarios():
+        print(f"  {scenario.describe()}")
     return 0
 
 
@@ -196,6 +285,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "replicate": _cmd_replicate,
+    "scenarios": _cmd_scenarios,
     "assignment": _cmd_assignment,
     "patterns": _cmd_patterns,
     "experiment": _cmd_experiment,

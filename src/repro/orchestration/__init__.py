@@ -1,0 +1,15 @@
+"""Experiment orchestration: fanning independent runs over CPU cores.
+
+:func:`~repro.orchestration.batch.run_batch` executes a list of
+:class:`~repro.simulation.config.SimulationConfig` objects either
+serially (``jobs=1``, bit-identical to a plain loop) or over a process
+pool (``jobs>1``), always returning results in config order.  The
+higher-level helpers — :func:`~repro.simulation.runner.compare_protocols`,
+:func:`~repro.simulation.runner.sweep_parameter` and
+:func:`~repro.analysis.replication.replicate` — all accept a ``jobs``
+argument and delegate here.
+"""
+
+from repro.orchestration.batch import run_batch
+
+__all__ = ["run_batch"]

@@ -1,0 +1,35 @@
+"""Named, declarative simulation workloads.
+
+* :mod:`repro.scenarios.scenario` — the frozen :class:`Scenario`
+  dataclass that expands to a :class:`~repro.simulation.config.SimulationConfig`;
+* :mod:`repro.scenarios.registry` — name → scenario lookup and
+  registration;
+* :mod:`repro.scenarios.catalog` — the builtin workloads (the paper's
+  four arrival patterns plus churn, asymmetric-population, DHT and
+  flaky-network extensions), registered on import.
+
+>>> from repro.scenarios import get_scenario
+>>> config = get_scenario("flash_crowd").build_config(scale=0.02)
+>>> config.arrival_pattern
+3
+"""
+
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.registry import (
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_for_pattern,
+    scenario_names,
+)
+from repro.scenarios.catalog import BUILTIN_SCENARIOS
+
+__all__ = [
+    "Scenario",
+    "register",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "scenario_for_pattern",
+    "BUILTIN_SCENARIOS",
+]

@@ -1,0 +1,91 @@
+"""Builtin scenario catalog.
+
+The four paper arrival patterns over the Section-5.1 population, plus the
+extension workloads the repository's examples and benchmarks study.
+Importing :mod:`repro.scenarios` registers all of them.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import register
+from repro.scenarios.scenario import Scenario
+
+__all__ = ["BUILTIN_SCENARIOS"]
+
+HOUR = 3600.0
+
+BUILTIN_SCENARIOS: tuple[Scenario, ...] = (
+    # ---- the paper's evaluation workloads (population of Section 5.1) ----
+    Scenario(
+        name="paper_default",
+        description="the paper's evaluation: triangle-shaped arrivals "
+        "peaking mid-window",
+        arrival_pattern=2,
+    ),
+    Scenario(
+        name="constant",
+        description="steady first-request arrivals across the whole window",
+        arrival_pattern=1,
+    ),
+    Scenario(
+        name="flash_crowd",
+        description="a premiere: an initial arrival burst, then a long tail",
+        arrival_pattern=3,
+    ),
+    Scenario(
+        name="diurnal",
+        description="periodic evening waves as time zones hit prime time",
+        arrival_pattern=4,
+    ),
+    # ---- extension workloads -------------------------------------------
+    Scenario(
+        name="heavy_churn",
+        description="suppliers stay ~8h then leave, rejoining after ~1h",
+        arrival_pattern=2,
+        supplier_mean_online_seconds=8 * HOUR,
+        supplier_mean_offline_seconds=1 * HOUR,
+    ),
+    Scenario(
+        name="shrinking_pool",
+        description="churn with no rejoin: the supplier pool only drains",
+        arrival_pattern=2,
+        supplier_mean_online_seconds=12 * HOUR,
+        suppliers_rejoin=False,
+    ),
+    Scenario(
+        name="asymmetric_classes",
+        description="bandwidth-poor audience: 90% of requesters in the "
+        "bottom class",
+        arrival_pattern=2,
+        requesting_peers=((1, 1000), (2, 1500), (3, 2500), (4, 45000)),
+    ),
+    Scenario(
+        name="underreporting",
+        description="the incentive study's defector world: high-bandwidth "
+        "peers pledge (and deliver) class 4",
+        arrival_pattern=2,
+        requesting_peers=((1, 0), (2, 0), (3, 20000), (4, 30000)),
+    ),
+    Scenario(
+        name="sparse_seeds",
+        description="a tenth of the paper's seeds face the full audience",
+        arrival_pattern=2,
+        seed_suppliers=((1, 10),),
+    ),
+    Scenario(
+        name="chord_overlay",
+        description="paper workload discovered over the Chord DHT instead "
+        "of the central directory",
+        arrival_pattern=2,
+        lookup="chord",
+    ),
+    Scenario(
+        name="flaky_network",
+        description="every probe finds the candidate down 30% of the time",
+        arrival_pattern=2,
+        down_probability=0.3,
+    ),
+)
+
+for _scenario in BUILTIN_SCENARIOS:
+    register(_scenario)

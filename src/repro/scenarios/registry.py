@@ -1,0 +1,72 @@
+"""The scenario registry — workloads addressable by name.
+
+Downstream code (the CLI, benchmarks, examples) asks for workloads by
+name instead of hand-rolling config blocks; adding a new workload to the
+whole toolchain is one :func:`register` call.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.scenarios.scenario import Scenario
+
+__all__ = [
+    "register",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "scenario_for_pattern",
+]
+
+_SCENARIOS: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario, *, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry; returns it for chaining.
+
+    Registering a name twice is an error unless ``replace=True`` — silent
+    shadowing of a builtin is almost always a bug in user code.
+    """
+    if scenario.name in _SCENARIOS and not replace:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} is already registered "
+            "(pass replace=True to override)"
+        )
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {known}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_SCENARIOS)
+
+
+def all_scenarios() -> list[Scenario]:
+    """Every registered scenario, sorted by name."""
+    return [_SCENARIOS[name] for name in scenario_names()]
+
+
+def scenario_for_pattern(pattern_id: int) -> Scenario:
+    """The canonical paper-population scenario for an arrival pattern.
+
+    Keeps ``--pattern N`` CLI/example paths on the registry: the four
+    paper patterns map onto the four builtin paper-population scenarios.
+    """
+    mapping = {1: "constant", 2: "paper_default", 3: "flash_crowd", 4: "diurnal"}
+    try:
+        return get_scenario(mapping[pattern_id])
+    except KeyError:
+        raise ConfigurationError(
+            f"arrival pattern must be 1..4, got {pattern_id}"
+        ) from None

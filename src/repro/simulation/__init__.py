@@ -10,8 +10,13 @@ simulated system over 144 hours.  This package is that simulator:
 * :mod:`repro.simulation.arrivals` — the four first-request arrival patterns;
 * :mod:`repro.simulation.churn` — optional peer up/down availability;
 * :mod:`repro.simulation.entities` — per-peer simulation state;
-* :mod:`repro.simulation.system` — the streaming system itself (probing,
-  admission, sessions, reminders, timers);
+* :mod:`repro.simulation.registry` — the supplier population (joins,
+  churn, idle-elevation timers);
+* :mod:`repro.simulation.requestpath` — the requesting peer's protocol
+  path (probing, admission, sessions, reminders, backoff);
+* :mod:`repro.simulation.samplers` — the periodic metric samplers;
+* :mod:`repro.simulation.system` — the facade wiring the three
+  subsystems over the shared substrates;
 * :mod:`repro.simulation.metrics` — every collector behind Figures 4–9 and
   Table 1;
 * :mod:`repro.simulation.runner` — one-call experiment execution;
@@ -20,18 +25,24 @@ simulated system over 144 hours.  This package is that simulator:
 
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import Simulator
+from repro.simulation.registry import SupplierRegistry
+from repro.simulation.requestpath import RequestPath
 from repro.simulation.runner import (
     SimulationResult,
     compare_protocols,
     run_simulation,
     sweep_parameter,
 )
+from repro.simulation.samplers import Samplers
 from repro.simulation.system import StreamingSystem
 
 __all__ = [
     "SimulationConfig",
     "Simulator",
     "StreamingSystem",
+    "SupplierRegistry",
+    "RequestPath",
+    "Samplers",
     "SimulationResult",
     "run_simulation",
     "compare_protocols",

@@ -10,9 +10,13 @@ Design notes
   monotonically increasing sequence number breaks time ties and never falls
   through to comparing callbacks (which would raise).
 * Cancellation is *logical*: :meth:`Simulator.cancel` marks a handle dead
-  and the main loop skips dead entries when they surface.  The streaming
-  system instead mostly uses generation counters on its own state, which is
-  cheaper than allocating handles for the (very hot) idle-timer path.
+  and the main loop skips dead entries when they surface.  So that
+  cancellation-heavy workloads don't drag a growing graveyard through
+  every heap operation, the queue is compacted (live entries re-heapified)
+  whenever dead entries outnumber live ones; :attr:`Simulator.pending`
+  counts live events only.  The streaming system instead mostly uses
+  generation counters on its own state, which is cheaper than allocating
+  handles for the (very hot) idle-timer path.
 * Time is float seconds.  All durations in this reproduction are sums of
   "nice" values (minutes, hours, powers of two), so float determinism is a
   non-issue in practice, and the regression suite pins exact outputs.
@@ -36,6 +40,8 @@ class EventHandle:
     time: float
     sequence: int
     cancelled: bool = False
+    #: True once the event has left the queue (fired or skipped)
+    done: bool = False
 
 
 class Simulator:
@@ -54,10 +60,14 @@ class Simulator:
     5.0
     """
 
+    #: don't bother compacting queues smaller than this
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self.now = start_time
         self._queue: list[tuple[float, int, EventHandle, Callable, object]] = []
         self._sequence = 0
+        self._cancelled = 0
         self.events_processed = 0
 
     def schedule_at(
@@ -82,13 +92,34 @@ class Simulator:
         return self.schedule_at(self.now + delay, callback, argument)
 
     def cancel(self, handle: EventHandle) -> None:
-        """Mark an event dead; it is skipped when it reaches the queue head."""
+        """Mark an event dead; it is skipped when it reaches the queue head.
+
+        When more than half the queued entries are dead, the queue is
+        rebuilt from the live entries so cancellation-heavy workloads
+        don't keep paying heap costs for events that will never fire.
+        """
+        if handle.cancelled or handle.done:
+            return
         handle.cancelled = True
+        self._cancelled += 1
+        if (
+            len(self._queue) >= self.COMPACT_MIN_SIZE
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead entries and re-heapify (preserves (time, seq) order)."""
+        self._queue = [
+            entry for entry in self._queue if not entry[2].cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired (possibly cancelled) events in the queue."""
-        return len(self._queue)
+        """Number of live (not fired, not cancelled) events in the queue."""
+        return len(self._queue) - self._cancelled
 
     def run(self, until: float | None = None) -> None:
         """Process events in time order until the queue drains or ``until``.
@@ -96,13 +127,14 @@ class Simulator:
         With ``until`` set, events at exactly ``until`` are still processed;
         later ones stay queued and the clock is advanced to ``until``.
         """
-        queue = self._queue
-        while queue:
-            time, _seq, handle, callback, argument = queue[0]
+        while self._queue:
+            time, _seq, handle, callback, argument = self._queue[0]
             if until is not None and time > until:
                 break
-            heapq.heappop(queue)
+            heapq.heappop(self._queue)
+            handle.done = True
             if handle.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = time
             self.events_processed += 1
@@ -114,7 +146,9 @@ class Simulator:
         """Process exactly one (non-cancelled) event; False if queue is empty."""
         while self._queue:
             time, _seq, handle, callback, argument = heapq.heappop(self._queue)
+            handle.done = True
             if handle.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = time
             self.events_processed += 1

@@ -12,11 +12,17 @@ a full-scale run.
 
 from __future__ import annotations
 
+import random
+from typing import TYPE_CHECKING
+
 from repro.core.model import PeerRole
 from repro.errors import SimulationError
 from repro.protocols.base import SupplierStateLike
 
-__all__ = ["SimPeer"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulation.config import SimulationConfig
+
+__all__ = ["SimPeer", "build_population"]
 
 
 class SimPeer:
@@ -100,3 +106,29 @@ class SimPeer:
             f"SimPeer(id={self.peer_id}, class={self.peer_class}, "
             f"role={self.role.value}, rejections={self.rejections})"
         )
+
+
+def build_population(
+    config: "SimulationConfig", population_rng: random.Random
+) -> tuple[list[SimPeer], list[SimPeer]]:
+    """Create seed suppliers then requesting peers, ids 0..n-1.
+
+    Requester class labels are shuffled so every arrival pattern sees the
+    same class mix at every point in time (the paper's populations are not
+    class-ordered in time).  Returns ``(all peers, requesting peers)``.
+    """
+    peers: list[SimPeer] = []
+    for peer_class in sorted(config.seed_suppliers):
+        for _ in range(config.seed_suppliers[peer_class]):
+            peers.append(SimPeer(len(peers), peer_class, is_seed=True))
+
+    labels: list[int] = []
+    for peer_class in sorted(config.requesting_peers):
+        labels.extend([peer_class] * config.requesting_peers[peer_class])
+    population_rng.shuffle(labels)
+    requesters: list[SimPeer] = []
+    for peer_class in labels:
+        peer = SimPeer(len(peers), peer_class, is_seed=False)
+        peers.append(peer)
+        requesters.append(peer)
+    return peers, requesters

@@ -1,0 +1,266 @@
+"""The requesting peer's path through the protocol (the demand side).
+
+:class:`RequestPath` implements every interaction a requesting peer has
+with the system, end to end:
+
+* first-request arrival scheduling per the configured pattern;
+* the probe loop over up to ``M`` lookup candidates, high class to low
+  class, with the probabilistic grant test at idle suppliers;
+* admission → OTS_p2p session planning → busy marking → session-end events;
+* rejection → reminder placement at busy favoring candidates → exponential
+  backoff and retry;
+* post-session promotion of the requester into the supplier population
+  (handed to the :class:`~repro.simulation.registry.SupplierRegistry`).
+
+One of the three collaborators behind the
+:class:`~repro.simulation.system.StreamingSystem` facade.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import SupplierOffer
+from repro.core.requesting import (
+    CandidateReport,
+    CandidateStatus,
+    backoff_delay,
+    choose_reminder_set,
+)
+from repro.errors import SimulationError
+from repro.simulation.arrivals import generate_arrival_times, make_pattern
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+from repro.simulation.entities import SimPeer
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.randoms import RandomStreams
+from repro.simulation.registry import SupplierRegistry
+from repro.simulation.trace import TraceRecorder
+from repro.streaming.session import plan_session
+
+__all__ = ["RequestPath"]
+
+
+class RequestPath:
+    """Probe loop, admission, rejection/backoff and session lifecycle."""
+
+    def __init__(
+        self,
+        *,
+        sim: Simulator,
+        config: SimulationConfig,
+        policy,
+        streams: RandomStreams,
+        metrics: MetricsCollector,
+        peers: list[SimPeer],
+        lookup,
+        transport,
+        churn,
+        registry: SupplierRegistry,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.ladder = config.ladder
+        self.media = config.media
+        self.policy = policy
+        self.streams = streams
+        self.metrics = metrics
+        self.peers = peers
+        self.lookup = lookup
+        self.transport = transport
+        self.churn = churn
+        self.registry = registry
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    # arrivals
+    # ------------------------------------------------------------------
+    def schedule_arrivals(self, requesters: list[SimPeer]) -> None:
+        """Place every requester's first request per the arrival pattern."""
+        pattern = make_pattern(
+            self.config.arrival_pattern, self.config.arrival_window_seconds
+        )
+        times = generate_arrival_times(
+            pattern,
+            len(requesters),
+            deterministic=self.config.deterministic_arrivals,
+            rng=self.streams.arrivals,
+        )
+        for peer, time in zip(requesters, times):
+            self.sim.schedule_at(time, self.on_request, peer)
+
+    # ------------------------------------------------------------------
+    # the request path
+    # ------------------------------------------------------------------
+    def on_request(self, peer: SimPeer) -> None:
+        """A requesting peer makes a (first or retry) streaming request."""
+        if peer.first_request_time is None:
+            peer.first_request_time = self.sim.now
+            self.metrics.on_first_request(peer.peer_class)
+        else:
+            self.metrics.on_retry(peer.peer_class)
+
+        outcome = self._probe_candidates(peer)
+        if outcome is None:
+            self._reject(peer, enlisted_units=0, contacted_busy=[])
+            return
+        enlisted, contacted_busy, deficit = outcome
+        if deficit == 0:
+            self._admit(peer, enlisted)
+        else:
+            self._reject(
+                peer,
+                enlisted_units=self.ladder.full_rate_units - deficit,
+                contacted_busy=contacted_busy,
+            )
+
+    def _probe_candidates(
+        self, peer: SimPeer
+    ) -> tuple[list[SimPeer], list[CandidateReport], int] | None:
+        """Contact up to ``M`` candidates high-class-first; returns
+        ``(enlisted suppliers, busy candidate reports, remaining deficit)``,
+        or None when the lookup produced no candidates at all."""
+        candidates = self.lookup.candidates(
+            self.media.media_id,
+            self.config.probe_candidates,
+            peer.peer_id,
+            self.streams.lookup,
+        )
+        if not candidates:
+            return None
+        # Stable sort by class keeps the lookup's random order within a class.
+        candidates.sort(key=lambda pair: pair[1])
+
+        admission_rng = self.streams.admission
+        churn_rng = self.streams.churn
+        deficit = self.ladder.full_rate_units
+        enlisted: list[SimPeer] = []
+        contacted_busy: list[CandidateReport] = []
+
+        for candidate_id, candidate_class in candidates:
+            supplier = self.peers[candidate_id]
+            if self.transport is not None:
+                self.transport.round_trip("probe", peer.peer_id, candidate_id)
+            if self.churn.is_down(candidate_id, self.sim.now, churn_rng):
+                continue
+            state = supplier.admission
+            if state is None:
+                raise SimulationError(
+                    f"candidate {candidate_id} has no admission state"
+                )
+            if state.busy:
+                state.on_request_while_busy(peer.peer_class)
+                contacted_busy.append(
+                    CandidateReport(
+                        peer_id=candidate_id,
+                        peer_class=candidate_class,
+                        units=self.ladder.offer_units(candidate_class),
+                        status=CandidateStatus.BUSY,
+                        favors_requester=state.favors(peer.peer_class),
+                    )
+                )
+                continue
+            probability = state.grant_probability(peer.peer_class)
+            if probability >= 1.0 or admission_rng.random() < probability:
+                # Candidates arrive in descending-offer order, so a granted
+                # offer always fits the remaining deficit exactly (the
+                # power-of-two ladder; see core.requesting.greedy_fill).
+                units = self.ladder.offer_units(candidate_class)
+                enlisted.append(supplier)
+                deficit -= units
+                if deficit == 0:
+                    break
+        return enlisted, contacted_busy, deficit
+
+    def _admit(self, peer: SimPeer, enlisted: list[SimPeer]) -> None:
+        """Start the streaming session for an admitted requesting peer."""
+        offers = [
+            SupplierOffer(
+                peer_id=s.peer_id,
+                peer_class=s.peer_class,
+                units=self.ladder.offer_units(s.peer_class),
+            )
+            for s in enlisted
+        ]
+        session = plan_session(
+            requester_id=peer.peer_id,
+            requester_class=peer.peer_class,
+            offers=offers,
+            media=self.media,
+            ladder=self.ladder,
+        )
+        for supplier in enlisted:
+            supplier.admission.on_session_start()
+            supplier.bump_idle_generation()
+            supplier.sessions_served += 1
+            if self.transport is not None:
+                self.transport.send("session_start", peer.peer_id, supplier.peer_id)
+
+        peer.admitted_time = self.sim.now
+        peer.buffering_delay_slots = session.buffering_delay_slots
+        peer.num_suppliers_served_by = session.num_suppliers
+        self.metrics.on_admission(
+            peer.peer_class,
+            rejections_before=peer.rejections,
+            num_suppliers=session.num_suppliers,
+            buffering_delay_slots=session.buffering_delay_slots,
+            waiting_seconds=peer.waiting_time or 0.0,
+        )
+        if self.trace:
+            self.trace.record(
+                "admission",
+                self.sim.now,
+                peer=peer.peer_id,
+                peer_class=peer.peer_class,
+                suppliers=[s.peer_id for s in enlisted],
+                delay_slots=session.buffering_delay_slots,
+            )
+        self.sim.schedule_in(
+            session.transfer_seconds, self._on_session_end, (peer, enlisted)
+        )
+
+    def _reject(
+        self,
+        peer: SimPeer,
+        enlisted_units: int,
+        contacted_busy: list[CandidateReport],
+    ) -> None:
+        """Handle a rejection: reminders, backoff, retry scheduling."""
+        peer.rejections += 1
+        self.metrics.on_rejection(peer.peer_class)
+
+        if self.policy.uses_reminders and contacted_busy:
+            shortfall = self.ladder.full_rate_units - enlisted_units
+            for report in choose_reminder_set(contacted_busy, shortfall):
+                supplier = self.peers[report.peer_id]
+                supplier.admission.on_reminder(peer.peer_class)
+                self.metrics.on_reminder(peer.peer_class)
+                if self.transport is not None:
+                    self.transport.send("reminder", peer.peer_id, report.peer_id)
+
+        delay = backoff_delay(
+            peer.rejections, self.config.t_bkf_seconds, self.config.e_bkf
+        )
+        if self.trace:
+            self.trace.record(
+                "rejection",
+                self.sim.now,
+                peer=peer.peer_id,
+                peer_class=peer.peer_class,
+                rejections=peer.rejections,
+                backoff_seconds=delay,
+            )
+        retry_at = self.sim.now + delay
+        if retry_at <= self.config.horizon_seconds:
+            self.sim.schedule_at(retry_at, self.on_request, peer)
+
+    def _on_session_end(self, payload: tuple[SimPeer, list[SimPeer]]) -> None:
+        """A streaming session finished: free suppliers, promote requester."""
+        peer, enlisted = payload
+        for supplier in enlisted:
+            supplier.admission.on_session_end()
+            supplier.bump_idle_generation()
+            self.registry.arm_idle_timer(supplier)
+            if self.transport is not None:
+                self.transport.send("session_end", peer.peer_id, supplier.peer_id)
+        peer.promote(self.policy.make_supplier_state(peer.peer_class, self.ladder))
+        self.registry.register(peer)

@@ -86,24 +86,39 @@ def run_simulation(
 
 
 def compare_protocols(
-    config: SimulationConfig, protocols: Sequence[str] = ("dac", "ndac")
+    config: SimulationConfig,
+    protocols: Sequence[str] = ("dac", "ndac"),
+    jobs: int = 1,
 ) -> dict[str, SimulationResult]:
     """Run the same configuration under several admission protocols.
 
     All runs share the master seed, so RNG streams are paired and observed
-    differences are attributable to the protocols.
+    differences are attributable to the protocols.  ``jobs>1`` fans the
+    runs out over worker processes (results are identical, just faster).
     """
-    return {
-        protocol: run_simulation(config.replace(protocol=protocol))
-        for protocol in protocols
-    }
+    from repro.orchestration.batch import run_batch
+
+    results = run_batch(
+        [config.replace(protocol=protocol) for protocol in protocols], jobs=jobs
+    )
+    return dict(zip(protocols, results))
 
 
 def sweep_parameter(
-    config: SimulationConfig, parameter: str, values: Iterable[object]
+    config: SimulationConfig,
+    parameter: str,
+    values: Iterable[object],
+    jobs: int = 1,
 ) -> dict[object, SimulationResult]:
-    """Run the config once per value of ``parameter`` (Figures 8 and 9)."""
-    return {
-        value: run_simulation(config.replace(**{parameter: value}))
-        for value in values
-    }
+    """Run the config once per value of ``parameter`` (Figures 8 and 9).
+
+    ``jobs>1`` runs the sweep points on worker processes; the result dict
+    keeps the order of ``values`` either way.
+    """
+    from repro.orchestration.batch import run_batch
+
+    value_list = list(values)
+    results = run_batch(
+        [config.replace(**{parameter: value}) for value in value_list], jobs=jobs
+    )
+    return dict(zip(value_list, results))

@@ -1,47 +1,41 @@
 """The simulated peer-to-peer streaming system (Sections 2, 4 and 5).
 
-:class:`StreamingSystem` wires every substrate together and implements the
-protocol's *interactions* — the pieces that are neither pure supplier state
-(:mod:`repro.core.admission`) nor pure requester math
-(:mod:`repro.core.requesting`):
+:class:`StreamingSystem` is a thin facade that builds every substrate and
+wires the three protocol subsystems together:
 
-* population construction (seeds + requesters, arrival times per pattern);
-* the probe loop a requesting peer runs over its ``M`` candidates, high
-  class to low class, with the probabilistic grant test at idle suppliers;
-* admission → OTS_p2p session planning → busy marking → session-end events;
-* rejection → reminder placement at busy favoring candidates → exponential
-  backoff and retry;
-* the ``T_out`` idle-elevation timers (generation-tagged so stale timer
-  events are dropped in O(1));
-* the periodic metric samplers.
+* :class:`~repro.simulation.registry.SupplierRegistry` — the supply side:
+  supplier registration, graceful churn (depart → rejoin), and the
+  ``T_out`` idle-elevation timers;
+* :class:`~repro.simulation.requestpath.RequestPath` — the demand side:
+  arrival scheduling, the ``M``-candidate probe loop, admission → OTS_p2p
+  session planning, rejection → reminders → exponential backoff, and
+  post-session promotion;
+* :class:`~repro.simulation.samplers.Samplers` — the periodic metric
+  samplers behind Figures 4–9.
 
 The system is deterministic for a fixed config: RNG streams are named and
 seeded, candidate ordering is stable, and the event queue breaks ties FIFO.
+The wiring order below (population → lookup → seed registration →
+arrivals → samplers) is part of that contract — it fixes the sequence
+numbers of the initial events.
 """
 
 from __future__ import annotations
 
 from repro.core.capacity import CapacityLedger
-from repro.core.model import SupplierOffer
-from repro.core.requesting import (
-    CandidateReport,
-    CandidateStatus,
-    backoff_delay,
-    choose_reminder_set,
-)
-from repro.errors import SimulationError
 from repro.network.lookup import ChordLookup, DirectoryLookup
 from repro.network.transport import Transport
 from repro.protocols.base import make_policy
-from repro.simulation.arrivals import generate_arrival_times, make_pattern
 from repro.simulation.churn import BernoulliChurn, NoChurn
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import Simulator
-from repro.simulation.entities import SimPeer
+from repro.simulation.entities import SimPeer, build_population
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.randoms import RandomStreams
+from repro.simulation.registry import SupplierRegistry
+from repro.simulation.requestpath import RequestPath
+from repro.simulation.samplers import Samplers
 from repro.simulation.trace import TraceRecorder
-from repro.streaming.session import plan_session
 
 __all__ = ["StreamingSystem"]
 
@@ -68,395 +62,51 @@ class StreamingSystem:
         else:
             self.churn = NoChurn()
 
-        self.peers: list[SimPeer] = []
-        self.suppliers_by_class: dict[int, list[SimPeer]] = {
-            c: [] for c in self.ladder.classes
-        }
-        self._build_population()
-        self._build_lookup()
-        for peer in self.peers:
-            if peer.is_seed:
-                self._register_supplier(peer)
-        self._schedule_arrivals()
-        self._schedule_samplers()
-
-    # ------------------------------------------------------------------
-    # construction
-    # ------------------------------------------------------------------
-    def _build_population(self) -> None:
-        """Create seed suppliers then requesting peers, ids 0..n-1.
-
-        Requester class labels are shuffled so every arrival pattern sees
-        the same class mix at every point in time (the paper's populations
-        are not class-ordered in time).
-        """
-        for peer_class in sorted(self.config.seed_suppliers):
-            for _ in range(self.config.seed_suppliers[peer_class]):
-                self.peers.append(SimPeer(len(self.peers), peer_class, is_seed=True))
-
-        labels: list[int] = []
-        for peer_class in sorted(self.config.requesting_peers):
-            labels.extend([peer_class] * self.config.requesting_peers[peer_class])
-        self.streams.population.shuffle(labels)
-        self._requesters = []
-        for peer_class in labels:
-            peer = SimPeer(len(self.peers), peer_class, is_seed=False)
-            self.peers.append(peer)
-            self._requesters.append(peer)
-
-    def _build_lookup(self) -> None:
-        if self.config.lookup == "chord":
+        self.peers, self._requesters = build_population(
+            config, self.streams.population
+        )
+        if config.lookup == "chord":
             seed_ids = [peer.peer_id for peer in self.peers if peer.is_seed]
             self.lookup = ChordLookup(seed_ids, transport=self.transport)
         else:
             self.lookup = DirectoryLookup(transport=self.transport)
 
-    def _schedule_arrivals(self) -> None:
-        pattern = make_pattern(
-            self.config.arrival_pattern, self.config.arrival_window_seconds
+        self.registry = SupplierRegistry(
+            sim=self.sim,
+            config=config,
+            policy=self.policy,
+            streams=self.streams,
+            metrics=self.metrics,
+            ledger=self.ledger,
+            lookup=self.lookup,
+            trace=trace,
         )
-        times = generate_arrival_times(
-            pattern,
-            len(self._requesters),
-            deterministic=self.config.deterministic_arrivals,
-            rng=self.streams.arrivals,
+        self.request_path = RequestPath(
+            sim=self.sim,
+            config=config,
+            policy=self.policy,
+            streams=self.streams,
+            metrics=self.metrics,
+            peers=self.peers,
+            lookup=self.lookup,
+            transport=self.transport,
+            churn=self.churn,
+            registry=self.registry,
+            trace=trace,
         )
-        for peer, time in zip(self._requesters, times):
-            self.sim.schedule_at(time, self._on_request_event, peer)
-
-    def _schedule_samplers(self) -> None:
-        self._sample_capacity(None)
-        self._sample_rates(None)
-        self._sample_favored(None)
-
-    # ------------------------------------------------------------------
-    # supplier population management
-    # ------------------------------------------------------------------
-    def _register_supplier(self, peer: SimPeer) -> None:
-        """Peer enters the supplier population (seed init or promotion)."""
-        if peer.admission is None:
-            peer.admission = self.policy.make_supplier_state(
-                peer.peer_class, self.ladder
-            )
-        self.ledger.add_supplier(peer.peer_class)
-        self.suppliers_by_class[peer.peer_class].append(peer)
-        self.lookup.register_supplier(
-            self.media.media_id, peer.peer_id, peer.peer_class
-        )
-        self._arm_idle_timer(peer)
-        self._schedule_departure(peer)
-        if self.trace:
-            self.trace.record(
-                "supplier_joined",
-                self.sim.now,
-                peer=peer.peer_id,
-                peer_class=peer.peer_class,
-                capacity=self.ledger.sessions,
-            )
-
-    # ------------------------------------------------------------------
-    # supplier churn (extension; off under the paper's configuration)
-    # ------------------------------------------------------------------
-    def _schedule_departure(self, peer: SimPeer) -> None:
-        """Draw the supplier's next departure time, if churn is enabled."""
-        mean_online = self.config.supplier_mean_online_seconds
-        if mean_online is None:
-            return
-        delay = self.streams.churn.expovariate(1.0 / mean_online)
-        self.sim.schedule_in(delay, self._on_departure, peer)
-
-    #: how long a busy supplier's departure is deferred before re-checking
-    DEPARTURE_RETRY_SECONDS = 300.0
-
-    def _on_departure(self, peer: SimPeer) -> None:
-        """A supplier departs — gracefully: it first finishes any session."""
-        if peer.departed:
-            return
-        state = peer.admission
-        if state is not None and state.busy:
-            self.sim.schedule_in(
-                self.DEPARTURE_RETRY_SECONDS, self._on_departure, peer
-            )
-            return
-        peer.departed = True
-        peer.departures += 1
-        peer.bump_idle_generation()  # kill any pending elevation timer
-        self.ledger.remove_supplier(peer.peer_class)
-        self.lookup.unregister_supplier(self.media.media_id, peer.peer_id)
-        self.metrics.on_supplier_departure(peer.peer_class)
-        if self.trace:
-            self.trace.record(
-                "supplier_departed",
-                self.sim.now,
-                peer=peer.peer_id,
-                peer_class=peer.peer_class,
-                capacity=self.ledger.sessions,
-            )
-        if self.config.suppliers_rejoin:
-            delay = self.streams.churn.expovariate(
-                1.0 / self.config.supplier_mean_offline_seconds
-            )
-            self.sim.schedule_in(delay, self._on_rejoin, peer)
-
-    def _on_rejoin(self, peer: SimPeer) -> None:
-        """A departed supplier comes back online with its old vector."""
-        if not peer.departed:
-            return
-        peer.departed = False
-        self.ledger.add_supplier(peer.peer_class)
-        self.lookup.register_supplier(
-            self.media.media_id, peer.peer_id, peer.peer_class
-        )
-        self.metrics.on_supplier_rejoin(peer.peer_class)
-        self._arm_idle_timer(peer)
-        self._schedule_departure(peer)
-        if self.trace:
-            self.trace.record(
-                "supplier_rejoined",
-                self.sim.now,
-                peer=peer.peer_id,
-                peer_class=peer.peer_class,
-                capacity=self.ledger.sessions,
-            )
-
-    def _arm_idle_timer(self, peer: SimPeer) -> None:
-        """Arm the ``T_out`` elevation timer for an idle supplier."""
-        if not self.policy.uses_idle_elevation:
-            return
-        state = peer.admission
-        if state is None or state.busy or peer.departed:
-            return
-        # A supplier already favoring every class has nothing to elevate.
-        if state.lowest_favored_class() == self.ladder.num_classes:
-            return
-        generation = peer.idle_timer_generation
-        self.sim.schedule_in(
-            self.config.t_out_seconds, self._on_idle_timeout, (peer, generation)
+        self.samplers = Samplers(
+            sim=self.sim,
+            config=config,
+            metrics=self.metrics,
+            ledger=self.ledger,
+            registry=self.registry,
         )
 
-    def _on_idle_timeout(self, payload: tuple[SimPeer, int]) -> None:
-        peer, generation = payload
-        if generation != peer.idle_timer_generation:
-            return  # timer invalidated by a session start since it was armed
-        state = peer.admission
-        if state is None or state.busy or peer.departed:
-            return
-        changed = state.on_idle_timeout()
-        if self.trace and changed:
-            self.trace.record(
-                "idle_elevation",
-                self.sim.now,
-                peer=peer.peer_id,
-                lowest_favored=state.lowest_favored_class(),
-            )
-        if changed:
-            self._arm_idle_timer(peer)
-
-    # ------------------------------------------------------------------
-    # the request path
-    # ------------------------------------------------------------------
-    def _on_request_event(self, peer: SimPeer) -> None:
-        """A requesting peer makes a (first or retry) streaming request."""
-        if peer.first_request_time is None:
-            peer.first_request_time = self.sim.now
-            self.metrics.on_first_request(peer.peer_class)
-        else:
-            self.metrics.on_retry(peer.peer_class)
-
-        outcome = self._probe_candidates(peer)
-        if outcome is None:
-            self._reject(peer, enlisted_units=0, contacted_busy=[])
-            return
-        enlisted, contacted_busy, deficit = outcome
-        if deficit == 0:
-            self._admit(peer, enlisted)
-        else:
-            self._reject(
-                peer,
-                enlisted_units=self.ladder.full_rate_units - deficit,
-                contacted_busy=contacted_busy,
-            )
-
-    def _probe_candidates(
-        self, peer: SimPeer
-    ) -> tuple[list[SimPeer], list[CandidateReport], int] | None:
-        """Contact up to ``M`` candidates high-class-first; returns
-        ``(enlisted suppliers, busy candidate reports, remaining deficit)``,
-        or None when the lookup produced no candidates at all."""
-        candidates = self.lookup.candidates(
-            self.media.media_id,
-            self.config.probe_candidates,
-            peer.peer_id,
-            self.streams.lookup,
-        )
-        if not candidates:
-            return None
-        # Stable sort by class keeps the lookup's random order within a class.
-        candidates.sort(key=lambda pair: pair[1])
-
-        admission_rng = self.streams.admission
-        churn_rng = self.streams.churn
-        deficit = self.ladder.full_rate_units
-        enlisted: list[SimPeer] = []
-        contacted_busy: list[CandidateReport] = []
-
-        for candidate_id, candidate_class in candidates:
-            supplier = self.peers[candidate_id]
-            if self.transport is not None:
-                self.transport.round_trip("probe", peer.peer_id, candidate_id)
-            if self.churn.is_down(candidate_id, self.sim.now, churn_rng):
-                continue
-            state = supplier.admission
-            if state is None:
-                raise SimulationError(
-                    f"candidate {candidate_id} has no admission state"
-                )
-            if state.busy:
-                state.on_request_while_busy(peer.peer_class)
-                contacted_busy.append(
-                    CandidateReport(
-                        peer_id=candidate_id,
-                        peer_class=candidate_class,
-                        units=self.ladder.offer_units(candidate_class),
-                        status=CandidateStatus.BUSY,
-                        favors_requester=state.favors(peer.peer_class),
-                    )
-                )
-                continue
-            probability = state.grant_probability(peer.peer_class)
-            if probability >= 1.0 or admission_rng.random() < probability:
-                # Candidates arrive in descending-offer order, so a granted
-                # offer always fits the remaining deficit exactly (the
-                # power-of-two ladder; see core.requesting.greedy_fill).
-                units = self.ladder.offer_units(candidate_class)
-                enlisted.append(supplier)
-                deficit -= units
-                if deficit == 0:
-                    break
-        return enlisted, contacted_busy, deficit
-
-    def _admit(self, peer: SimPeer, enlisted: list[SimPeer]) -> None:
-        """Start the streaming session for an admitted requesting peer."""
-        offers = [
-            SupplierOffer(
-                peer_id=s.peer_id,
-                peer_class=s.peer_class,
-                units=self.ladder.offer_units(s.peer_class),
-            )
-            for s in enlisted
-        ]
-        session = plan_session(
-            requester_id=peer.peer_id,
-            requester_class=peer.peer_class,
-            offers=offers,
-            media=self.media,
-            ladder=self.ladder,
-        )
-        for supplier in enlisted:
-            supplier.admission.on_session_start()
-            supplier.bump_idle_generation()
-            supplier.sessions_served += 1
-            if self.transport is not None:
-                self.transport.send("session_start", peer.peer_id, supplier.peer_id)
-
-        peer.admitted_time = self.sim.now
-        peer.buffering_delay_slots = session.buffering_delay_slots
-        peer.num_suppliers_served_by = session.num_suppliers
-        self.metrics.on_admission(
-            peer.peer_class,
-            rejections_before=peer.rejections,
-            num_suppliers=session.num_suppliers,
-            buffering_delay_slots=session.buffering_delay_slots,
-            waiting_seconds=peer.waiting_time or 0.0,
-        )
-        if self.trace:
-            self.trace.record(
-                "admission",
-                self.sim.now,
-                peer=peer.peer_id,
-                peer_class=peer.peer_class,
-                suppliers=[s.peer_id for s in enlisted],
-                delay_slots=session.buffering_delay_slots,
-            )
-        self.sim.schedule_in(
-            session.transfer_seconds, self._on_session_end, (peer, enlisted)
-        )
-
-    def _reject(
-        self,
-        peer: SimPeer,
-        enlisted_units: int,
-        contacted_busy: list[CandidateReport],
-    ) -> None:
-        """Handle a rejection: reminders, backoff, retry scheduling."""
-        peer.rejections += 1
-        self.metrics.on_rejection(peer.peer_class)
-
-        if self.policy.uses_reminders and contacted_busy:
-            shortfall = self.ladder.full_rate_units - enlisted_units
-            for report in choose_reminder_set(contacted_busy, shortfall):
-                supplier = self.peers[report.peer_id]
-                supplier.admission.on_reminder(peer.peer_class)
-                self.metrics.on_reminder(peer.peer_class)
-                if self.transport is not None:
-                    self.transport.send("reminder", peer.peer_id, report.peer_id)
-
-        delay = backoff_delay(
-            peer.rejections, self.config.t_bkf_seconds, self.config.e_bkf
-        )
-        if self.trace:
-            self.trace.record(
-                "rejection",
-                self.sim.now,
-                peer=peer.peer_id,
-                peer_class=peer.peer_class,
-                rejections=peer.rejections,
-                backoff_seconds=delay,
-            )
-        retry_at = self.sim.now + delay
-        if retry_at <= self.config.horizon_seconds:
-            self.sim.schedule_at(retry_at, self._on_request_event, peer)
-
-    def _on_session_end(self, payload: tuple[SimPeer, list[SimPeer]]) -> None:
-        """A streaming session finished: free suppliers, promote requester."""
-        peer, enlisted = payload
-        for supplier in enlisted:
-            supplier.admission.on_session_end()
-            supplier.bump_idle_generation()
-            self._arm_idle_timer(supplier)
-            if self.transport is not None:
-                self.transport.send("session_end", peer.peer_id, supplier.peer_id)
-        peer.promote(self.policy.make_supplier_state(peer.peer_class, self.ladder))
-        self._register_supplier(peer)
-
-    # ------------------------------------------------------------------
-    # samplers
-    # ------------------------------------------------------------------
-    def _sample_capacity(self, _arg: object) -> None:
-        self.metrics.sample_capacity(self.sim.now, self.ledger)
-        next_time = self.sim.now + self.config.capacity_sample_seconds
-        if next_time <= self.config.horizon_seconds:
-            self.sim.schedule_at(next_time, self._sample_capacity, None)
-
-    def _sample_rates(self, _arg: object) -> None:
-        self.metrics.sample_rates(self.sim.now)
-        next_time = self.sim.now + self.config.rate_sample_seconds
-        if next_time <= self.config.horizon_seconds:
-            self.sim.schedule_at(next_time, self._sample_rates, None)
-
-    def _sample_favored(self, _arg: object) -> None:
-        snapshot = {
-            peer_class: [
-                peer.admission.lowest_favored_class()
-                for peer in suppliers
-                if peer.admission is not None and not peer.departed
-            ]
-            for peer_class, suppliers in self.suppliers_by_class.items()
-        }
-        self.metrics.sample_favored(self.sim.now, snapshot)
-        next_time = self.sim.now + self.config.favored_snapshot_seconds
-        if next_time <= self.config.horizon_seconds:
-            self.sim.schedule_at(next_time, self._sample_favored, None)
+        for peer in self.peers:
+            if peer.is_seed:
+                self.registry.register(peer)
+        self.request_path.schedule_arrivals(self._requesters)
+        self.samplers.start()
 
     # ------------------------------------------------------------------
     # execution
@@ -469,6 +119,11 @@ class StreamingSystem:
     # ------------------------------------------------------------------
     # inspection helpers (used by tests and examples)
     # ------------------------------------------------------------------
+    @property
+    def suppliers_by_class(self) -> dict[int, list[SimPeer]]:
+        """Suppliers grouped by class (owned by the registry)."""
+        return self.registry.suppliers_by_class
+
     @property
     def num_suppliers(self) -> int:
         """Current size of the supplier population."""

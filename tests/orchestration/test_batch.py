@@ -1,0 +1,85 @@
+"""Tests for the batch executor and the ``jobs`` plumbing above it."""
+
+import json
+
+import pytest
+
+from repro.analysis.replication import replicate
+from repro.orchestration import run_batch
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import (
+    compare_protocols,
+    run_simulation,
+    sweep_parameter,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        seed_suppliers={1: 4},
+        requesting_peers={1: 5, 2: 5, 3: 20, 4: 20},
+        arrival_pattern=1,
+        master_seed=11,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def fingerprint(results):
+    """Order-sensitive, NaN-safe digest of a result list."""
+    return json.dumps(
+        [
+            (r.config.master_seed, r.config.protocol, r.metrics.to_dict())
+            for r in results
+        ],
+        sort_keys=True,
+    )
+
+
+class TestRunBatch:
+    def test_empty_batch(self):
+        assert run_batch([]) == []
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_batch([small_config()], jobs=0)
+
+    def test_serial_matches_plain_loop(self):
+        configs = [small_config(master_seed=s) for s in (1, 2, 3)]
+        batch = run_batch(configs, jobs=1)
+        loop = [run_simulation(c) for c in configs]
+        assert fingerprint(batch) == fingerprint(loop)
+
+    def test_parallel_matches_serial_in_order_and_content(self):
+        configs = [small_config(master_seed=s) for s in (1, 2, 3)]
+        serial = run_batch(configs, jobs=1)
+        parallel = run_batch(configs, jobs=2)
+        assert fingerprint(serial) == fingerprint(parallel)
+
+    def test_results_keep_config_order(self):
+        configs = [small_config(master_seed=s) for s in (9, 4, 7)]
+        results = run_batch(configs, jobs=2)
+        assert [r.config.master_seed for r in results] == [9, 4, 7]
+
+
+class TestJobsPlumbing:
+    def test_compare_protocols_parallel_parity(self):
+        config = small_config()
+        serial = compare_protocols(config, jobs=1)
+        parallel = compare_protocols(config, jobs=2)
+        assert list(serial) == list(parallel) == ["dac", "ndac"]
+        assert fingerprint(serial.values()) == fingerprint(parallel.values())
+
+    def test_sweep_parameter_parallel_parity(self):
+        config = small_config()
+        serial = sweep_parameter(config, "probe_candidates", [4, 8], jobs=1)
+        parallel = sweep_parameter(config, "probe_candidates", [4, 8], jobs=2)
+        assert list(serial) == list(parallel) == [4, 8]
+        assert fingerprint(serial.values()) == fingerprint(parallel.values())
+
+    def test_replicate_parallel_parity_and_seed_pairing(self):
+        config = small_config()
+        serial = replicate(config, replications=3, jobs=1)
+        parallel = replicate(config, replications=3, jobs=2)
+        assert serial.seeds == parallel.seeds == (11, 12, 13)
+        assert fingerprint(serial.results) == fingerprint(parallel.results)

@@ -99,6 +99,82 @@ class TestDepartureDynamics:
                     assert not (start < depart_time < start + show - 1e-6)
 
 
+class TestChurnCycle:
+    """The full depart → rejoin → depart cycle and its timer hygiene."""
+
+    def test_depart_rejoin_depart_cycles_complete(self):
+        config = churn_config(
+            supplier_mean_online_seconds=6 * HOUR,
+            supplier_mean_offline_seconds=1 * HOUR,
+        )
+        trace = TraceRecorder()
+        system = StreamingSystem(config, trace=trace)
+        system.run()
+        assert any(p.departures >= 2 for p in system.peers), (
+            "expected at least one supplier to complete a full "
+            "depart→rejoin→depart cycle at these churn rates"
+        )
+        # Per peer the trace must strictly alternate, starting with a
+        # departure: a peer can never depart twice without rejoining.
+        kinds_by_peer: dict[int, list[str]] = {}
+        for event in trace.events:
+            if event["kind"] in ("supplier_departed", "supplier_rejoined"):
+                kinds_by_peer.setdefault(event["peer"], []).append(event["kind"])
+        for kinds in kinds_by_peer.values():
+            assert kinds[0] == "supplier_departed"
+            for first, second in zip(kinds, kinds[1:]):
+                assert first != second
+
+    def test_busy_supplier_defers_departure_until_session_ends(self):
+        # Natural departures are pushed far out; we drive the cycle by hand.
+        config = churn_config(supplier_mean_online_seconds=10_000 * HOUR)
+        system = StreamingSystem(config)
+        seed = next(p for p in system.peers if p.is_seed)
+        seed.admission.on_session_start()
+
+        system.registry._on_departure(seed)
+        assert not seed.departed, "a busy supplier must finish its session"
+
+        seed.admission.on_session_end()
+        retry = system.registry.DEPARTURE_RETRY_SECONDS
+        system.sim.run(until=retry)
+        assert seed.departed
+        assert seed.departures == 1
+
+    def test_stale_idle_timer_dropped_after_generation_bump(self):
+        # Registration armed a T_out timer for each idle seed; a session
+        # start/end cycle bumps the generation, so the original timer must
+        # be a no-op when it fires (short T_out keeps arrivals out of the
+        # window).
+        config = churn_config(
+            supplier_mean_online_seconds=10_000 * HOUR, t_out_seconds=600.0
+        )
+        system = StreamingSystem(config)
+        seed = next(p for p in system.peers if p.is_seed)
+        before = seed.admission.lowest_favored_class()
+
+        seed.bump_idle_generation()  # what a session start does
+        system.sim.run(until=config.t_out_seconds)
+        assert seed.admission.lowest_favored_class() == before
+
+    def test_rejoin_arms_fresh_idle_timer(self):
+        # After depart → rejoin, the supplier elevates again from its own
+        # re-armed timer (the pre-departure timer was invalidated).
+        config = churn_config(
+            supplier_mean_online_seconds=10_000 * HOUR, t_out_seconds=600.0
+        )
+        system = StreamingSystem(config)
+        seed = next(p for p in system.peers if p.is_seed)
+        before = seed.admission.lowest_favored_class()
+
+        system.registry._on_departure(seed)
+        assert seed.departed
+        system.registry._on_rejoin(seed)
+        assert not seed.departed
+        system.sim.run(until=system.sim.now + config.t_out_seconds)
+        assert seed.admission.lowest_favored_class() > before
+
+
 class TestNoRejoin:
     def test_without_rejoin_population_only_shrinks(self):
         config = churn_config(

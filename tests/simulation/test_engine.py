@@ -100,6 +100,73 @@ class TestCancellation:
         assert sim.events_processed == 1
 
 
+class TestDeadEventCompaction:
+    def test_pending_counts_only_live_events(self):
+        sim = Simulator()
+        handles = [sim.schedule_at(float(i), lambda _: None, None) for i in range(10)]
+        for handle in handles[:4]:
+            sim.cancel(handle)
+        assert sim.pending == 6
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        handle = sim.schedule_at(1.0, lambda _: None, None)
+        sim.schedule_at(2.0, lambda _: None, None)
+        sim.cancel(handle)
+        sim.cancel(handle)
+        assert sim.pending == 1
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        handle = sim.schedule_at(1.0, lambda _: None, None)
+        sim.schedule_at(2.0, lambda _: None, None)
+        sim.run(until=1.0)
+        sim.cancel(handle)  # already fired; must not corrupt the live count
+        assert sim.pending == 1
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_majority_dead_queue_is_compacted(self):
+        sim = Simulator()
+        keep = Simulator.COMPACT_MIN_SIZE // 2
+        live = [sim.schedule_at(float(i), lambda _: None, None) for i in range(keep)]
+        dead = [
+            sim.schedule_at(1000.0 + i, lambda _: None, None)
+            for i in range(keep + 2)
+        ]
+        for handle in dead:
+            sim.cancel(handle)
+        # the physical queue shrank to the live entries alone
+        assert len(sim._queue) == len(live)
+        assert sim.pending == len(live)
+
+    def test_compaction_preserves_order_and_results(self):
+        sim = Simulator()
+        fired = []
+        handles = []
+        for i in range(200):
+            handles.append(sim.schedule_at(float(i), fired.append, i))
+        for i, handle in enumerate(handles):
+            if i % 2:
+                sim.cancel(handle)
+        sim.run()
+        assert fired == [i for i in range(200) if i % 2 == 0]
+        assert sim.pending == 0
+
+    def test_small_queues_skip_compaction(self):
+        sim = Simulator()
+        live = sim.schedule_at(1.0, lambda _: None, None)
+        dead = sim.schedule_at(2.0, lambda _: None, None)
+        sim.cancel(dead)
+        # below COMPACT_MIN_SIZE the dead entry stays queued but uncounted
+        assert len(sim._queue) == 2
+        assert sim.pending == 1
+        sim.cancel(live)
+        assert sim.pending == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+
 class TestStep:
     def test_step_processes_one_event(self):
         sim = Simulator()

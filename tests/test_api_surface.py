@@ -52,6 +52,8 @@ class TestPublicApi:
             "repro.network",
             "repro.protocols",
             "repro.simulation",
+            "repro.scenarios",
+            "repro.orchestration",
             "repro.analysis",
         ],
     )

@@ -13,8 +13,9 @@ class TestParser:
     def test_run_defaults(self):
         args = build_parser().parse_args(["run"])
         assert args.scale == 0.1
-        assert args.pattern == 2
-        assert args.protocol == "dac"
+        assert args.pattern is None  # resolves to pattern 2 / paper_default
+        assert args.scenario is None
+        assert args.protocol is None  # resolves to the scenario's (dac)
 
 
 class TestCommands:
@@ -72,6 +73,46 @@ class TestCommands:
     def test_experiment_unknown_id(self, capsys):
         assert main(["experiment", "fig99", "--scale", "0.004"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_scenarios_command_lists_registry(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "paper_default" in out
+        assert "flash_crowd" in out
+        assert "heavy_churn" in out
+
+    def test_run_with_scenario(self, capsys):
+        assert main(["run", "--scale", "0.004", "--scenario", "heavy_churn"]) == 0
+        assert "capacity" in capsys.readouterr().out
+
+    def test_pattern_overrides_scenario(self, capsys):
+        code = main(
+            ["run", "--scale", "0.004", "--scenario", "heavy_churn",
+             "--pattern", "1"]
+        )
+        assert code == 0
+        assert "pattern 1" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "nope"])
+
+    def test_replicate_command(self, capsys):
+        code = main(
+            ["replicate", "--scale", "0.004", "--pattern", "1",
+             "--replications", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2-seed replication" in out
+        assert "final capacity" in out
+
+    def test_compare_with_jobs(self, capsys):
+        code = main(
+            ["compare", "--scale", "0.004", "--pattern", "1", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "Figure 4" in capsys.readouterr().out
 
     def test_run_with_custom_seed_and_protocol(self, capsys):
         code = main(
