@@ -6,13 +6,18 @@
 (b) Idle elevation period ``T_out ∈ {1, 2, 20, 60, 120} min``: very short
     timeouts hurt, because idle suppliers relax their differentiation too
     soon and miss higher-class requesters.
+
+Both sweeps are declared as :class:`~repro.orchestration.study.Study`
+grids backed by the shared on-disk record store, so a repeated benchmark
+invocation asserts on cache-served records instead of re-simulating.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import cached_run, emit_report, paper_config
+from benchmarks.conftest import emit_report, paper_config, study_store
 from repro.analysis.report import figure8_report
 from repro.analysis.stats import area_under_series
+from repro.orchestration.study import Study
 
 MINUTE = 60.0
 
@@ -21,16 +26,18 @@ def test_figure8a_impact_of_m(benchmark):
     """Sweep the candidate count M (pattern 2, DAC)."""
 
     def run():
-        return {
-            m: cached_run(paper_config(probe_candidates=m, arrival_pattern=2))
-            for m in (4, 8, 16, 32)
-        }
+        result_set = (
+            Study.from_config(paper_config(arrival_pattern=2))
+            .sweep("probe_candidates", [4, 8, 16, 32])
+            .run(store=study_store())
+        )
+        return {record.axis("probe_candidates"): record for record in result_set}
 
     sweep = benchmark.pedantic(run, rounds=1, iterations=1)
     text = figure8_report(sweep, parameter_label="M")
     probes = "\n".join(
-        f"  M={m}: probe messages = {result.message_stats['count_probe']:.0f}"
-        for m, result in sweep.items()
+        f"  M={m}: probe messages = {record.message_stats['count_probe']:.0f}"
+        for m, record in sweep.items()
     )
     emit_report("fig8a_impact_of_M", text + "\nprobe overhead:\n" + probes)
 
@@ -46,9 +53,9 @@ def test_figure8a_impact_of_m(benchmark):
     # flattens (the paper's "it may increase the probing overhead and
     # traffic").  Total probes can *fall* with M because fewer rejections
     # mean fewer retries — the per-request cost is the fair metric.
-    def probes_per_request(result):
-        total_requests = sum(result.metrics.requests.values())
-        return result.message_stats["count_probe"] / total_requests
+    def probes_per_request(record):
+        total_requests = sum(record.metrics.requests.values())
+        return record.message_stats["count_probe"] / total_requests
 
     assert probes_per_request(sweep[32]) > probes_per_request(sweep[8])
 
@@ -57,15 +64,21 @@ def test_figure8b_impact_of_t_out(benchmark):
     """Sweep the idle elevation period T_out (pattern 2, DAC)."""
 
     def run():
-        return {
-            minutes: cached_run(
-                paper_config(t_out_seconds=minutes * MINUTE, arrival_pattern=2)
+        result_set = (
+            Study.from_config(paper_config(arrival_pattern=2))
+            .sweep(
+                "t_out_seconds",
+                [minutes * MINUTE for minutes in (1, 2, 20, 60, 120)],
             )
-            for minutes in (1, 2, 20, 60, 120)
+            .run(store=study_store())
+        )
+        return {
+            int(record.axis("t_out_seconds") / MINUTE): record
+            for record in result_set
         }
 
     sweep = benchmark.pedantic(run, rounds=1, iterations=1)
-    relabeled = {f"{m}min": result for m, result in sweep.items()}
+    relabeled = {f"{m}min": record for m, record in sweep.items()}
     text = figure8_report(relabeled, parameter_label="T_out")
     emit_report("fig8b_impact_of_Tout", text)
 
@@ -76,5 +89,5 @@ def test_figure8b_impact_of_t_out(benchmark):
     # paper's 20-minute default.
     assert areas[1] <= areas[20] * 1.02
     # All settings still converge eventually.
-    for result in sweep.values():
-        assert result.capacity_fraction_of_max > 0.9
+    for record in sweep.values():
+        assert record.capacity_fraction_of_max > 0.9

@@ -4,13 +4,20 @@ Replicates the DAC vs NDAC comparison over several master seeds and checks
 that the paper's qualitative conclusions are not one-seed flukes: DAC's
 final capacity and per-class rejection advantage hold in *every*
 replication, and the run-to-run spread is small relative to the effect.
+
+The grid — {dac, ndac} × seeds — is one
+:class:`~repro.orchestration.study.Study` over the shared on-disk record
+store, and the mean ± CI columns come from
+:meth:`~repro.orchestration.study.ResultSet.aggregate`, which subsumes
+the older per-protocol ``ReplicatedResult`` summaries.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit_report, paper_config, repro_scale
+from benchmarks.conftest import emit_report, paper_config, repro_scale, study_store
 from repro.analysis.plots import render_table
-from repro.analysis.replication import replicate
+from repro.analysis.replication import ReplicatedResult
+from repro.orchestration.study import Study
 
 REPLICATIONS = 3
 
@@ -19,29 +26,41 @@ def test_replicated_dac_vs_ndac(benchmark):
     """3-seed replication of the pattern-2 capacity/rejection comparison."""
     # Replications multiply runtime; run at a reduced scale.
     scale_factor = min(repro_scale(), 0.04)
+    base = paper_config(arrival_pattern=2).scaled(scale_factor / repro_scale())
 
     def run():
-        base = paper_config(arrival_pattern=2).scaled(
-            scale_factor / repro_scale()
+        return (
+            Study.from_config(base)
+            .protocols("dac", "ndac")
+            .seeds(REPLICATIONS)
+            .run(store=study_store())
         )
-        return {
-            protocol: replicate(
-                base.replace(protocol=protocol), replications=REPLICATIONS
-            )
-            for protocol in ("dac", "ndac")
-        }
 
-    replicated = benchmark.pedantic(run, rounds=1, iterations=1)
+    result_set = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def column(protocol, metric):
+        aggregates = result_set.filter(protocol=protocol).aggregate(metric)
+        (aggregate,) = aggregates.values()
+        return aggregate
 
     rows = []
-    for protocol, result in replicated.items():
+    for protocol in ("dac", "ndac"):
         rows.append(
             [
                 protocol,
-                str(result.final_capacity()),
-                str(result.rejections_of_class(1)),
-                str(result.rejections_of_class(4)),
-                str(result.delay_of_class(1)),
+                str(column(protocol, "final_capacity")),
+                str(column(
+                    protocol,
+                    lambda r: r.metrics.mean_rejections_before_admission()[1],
+                )),
+                str(column(
+                    protocol,
+                    lambda r: r.metrics.mean_rejections_before_admission()[4],
+                )),
+                str(column(
+                    protocol,
+                    lambda r: r.metrics.mean_buffering_delay_slots()[1],
+                )),
             ]
         )
     text = render_table(
@@ -55,25 +74,37 @@ def test_replicated_dac_vs_ndac(benchmark):
     )
     emit_report("replication_variance", text)
 
-    dac, ndac = replicated["dac"], replicated["ndac"]
+    dac_records = list(result_set.filter(protocol="dac"))
+    ndac_records = list(result_set.filter(protocol="ndac"))
+    assert len(dac_records) == len(ndac_records) == REPLICATIONS
 
     # The class-1 < class-4 rejection ordering holds in every DAC seed.
-    for result in dac.results:
-        rejections = result.metrics.mean_rejections_before_admission()
+    for record in dac_records:
+        rejections = record.metrics.mean_rejections_before_admission()
         assert rejections[1] < rejections[4]
 
-    # DAC beats NDAC on mean rejections for every class, beyond the CIs'
-    # combined half-widths for the aggregate.
+    # DAC beats NDAC on mean rejections for every class.
     for peer_class in (1, 2, 3, 4):
-        dac_summary = dac.rejections_of_class(peer_class)
-        ndac_summary = ndac.rejections_of_class(peer_class)
-        assert dac_summary.mean < ndac_summary.mean
+        def class_rejections(record, c=peer_class):
+            return record.metrics.mean_rejections_before_admission()[c]
+
+        assert (
+            column("dac", class_rejections).mean
+            < column("ndac", class_rejections).mean
+        )
 
     # Capacity envelopes: DAC's mean curve dominates NDAC's mid-ramp.
-    dac_envelope = dac.capacity_envelope(step_hours=12.0)
-    ndac_envelope = ndac.capacity_envelope(step_hours=12.0)
+    # (ReplicatedResult accepts cache-served records transparently.)
+    envelopes = {
+        protocol: ReplicatedResult(
+            config=base.replace(protocol=protocol),
+            seeds=tuple(r.seed for r in records),
+            results=tuple(records),
+        ).capacity_envelope(step_hours=12.0)
+        for protocol, records in (("dac", dac_records), ("ndac", ndac_records))
+    }
     for hour, dac_mean, ndac_mean in zip(
-        dac_envelope.hours, dac_envelope.mean, ndac_envelope.mean
+        envelopes["dac"].hours, envelopes["dac"].mean, envelopes["ndac"].mean
     ):
         if 24.0 <= hour <= 72.0:
             assert dac_mean >= ndac_mean

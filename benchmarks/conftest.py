@@ -24,6 +24,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.orchestration.store import ResultStore
 from repro.scenarios import get_scenario
 from repro.simulation.config import SimulationConfig
 from repro.simulation.runner import SimulationResult, run_simulation
@@ -31,6 +32,25 @@ from repro.simulation.runner import SimulationResult, run_simulation
 OUTPUT_DIR = Path(__file__).parent / "output"
 
 _RESULT_CACHE: dict[tuple, SimulationResult] = {}
+
+
+def study_store() -> ResultStore | None:
+    """Disk-backed record store shared across benchmark invocations.
+
+    Studies run through it skip any spec already computed by a previous
+    ``pytest benchmarks`` invocation at the same ``REPRO_SCALE`` (the
+    spec hash covers the whole config, so scale changes never collide).
+    Lives under ``benchmarks/output/``, which is gitignored.
+
+    Caution: the spec hash covers the *config*, not the simulator code —
+    after changing simulation logic without bumping ``__version__``,
+    delete ``benchmarks/output/cache`` or run with ``REPRO_BENCH_CACHE=0``
+    (returns ``None``, disabling the store) so assertions exercise the
+    new code instead of stale records.
+    """
+    if os.environ.get("REPRO_BENCH_CACHE", "1") == "0":
+        return None
+    return ResultStore(OUTPUT_DIR / "cache")
 
 
 def repro_scale() -> float:

@@ -45,7 +45,11 @@ from repro.core.admission import AdmissionVector, SupplierAdmissionState
 from repro.core.capacity import CapacityLedger, max_capacity_sessions
 from repro.streaming.media import MediaFile
 from repro.streaming.session import StreamingSession, plan_session
+from repro._version import __version__
 from repro.orchestration.batch import run_batch
+from repro.orchestration.runspec import RunSpec
+from repro.orchestration.study import ResultSet, RunRecord, Study
+from repro.orchestration.store import ResultStore
 from repro.scenarios import Scenario, get_scenario, scenario_names
 from repro.simulation.config import SimulationConfig
 from repro.simulation.runner import (
@@ -55,8 +59,8 @@ from repro.simulation.runner import (
     sweep_parameter,
 )
 from repro.simulation.system import StreamingSystem
-
-__version__ = "1.0.0"
+from repro.analysis.replication import ReplicatedResult, replicate
+from repro.analysis.experiments import run_experiment
 
 __all__ = [
     "__version__",
@@ -97,4 +101,14 @@ __all__ = [
     "get_scenario",
     "scenario_names",
     "run_batch",
+    # studies: declarative grids, records, caching
+    "Study",
+    "RunSpec",
+    "RunRecord",
+    "ResultSet",
+    "ResultStore",
+    # replication and experiments
+    "replicate",
+    "ReplicatedResult",
+    "run_experiment",
 ]

@@ -5,17 +5,28 @@ experiment id maps to a function that takes a scaled
 :class:`~repro.simulation.config.SimulationConfig` and returns the rendered
 report text.  The CLI exposes it as ``python -m repro experiment <id>``;
 the benchmark harness covers the same ground with assertions attached.
+
+Every simulation-backed experiment declares its grid as a
+:class:`~repro.orchestration.study.Study` and renders the resulting
+records, so passing a :class:`~repro.orchestration.store.ResultStore`
+(CLI: ``--cache-dir``) lets repeated invocations reuse already-computed
+runs — the report renderers accept cache-served records and live results
+interchangeably.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis import report
 from repro.errors import ConfigurationError
+from repro.orchestration.study import Study
 from repro.simulation.config import SimulationConfig
-from repro.simulation.runner import compare_protocols, run_simulation, sweep_parameter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.orchestration.store import ResultStore
 
 __all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "list_experiments"]
 
@@ -28,23 +39,53 @@ class Experiment:
 
     experiment_id: str
     title: str
-    runner: Callable[[SimulationConfig], str]
+    runner: Callable[[SimulationConfig, "ResultStore | None", bool], str]
 
 
-def _fig1(config: SimulationConfig) -> str:
+def _fig1(
+    config: SimulationConfig,
+    store: "ResultStore | None" = None,
+    cache: bool = True,
+) -> str:
     return report.figure1_report(config.ladder)
 
 
-def _fig4(config: SimulationConfig) -> str:
+def _fig4(
+    config: SimulationConfig,
+    store: "ResultStore | None" = None,
+    cache: bool = True,
+) -> str:
+    result_set = (
+        Study.from_config(config)
+        .sweep("arrival_pattern", [2, 4])
+        .protocols("dac", "ndac")
+        .run(store=store, cache=cache)
+    )
     sections = []
     for pattern in (2, 4):
-        results = compare_protocols(config.replace(arrival_pattern=pattern))
+        subset = result_set.filter(arrival_pattern=pattern)
+        results = {record.protocol: record for record in subset}
         sections.append(report.figure4_report(results, pattern=pattern))
     return "\n\n".join(sections)
 
 
-def _fig5(config: SimulationConfig) -> str:
-    results = compare_protocols(config.replace(arrival_pattern=2))
+def _compare_pattern2(
+    config: SimulationConfig, store: "ResultStore | None", cache: bool
+) -> dict[str, object]:
+    result_set = (
+        Study.from_config(config.replace(arrival_pattern=2))
+        .protocols("dac", "ndac")
+        .run(store=store, cache=cache)
+    )
+    return {record.protocol: record for record in result_set}
+
+
+def _fig5(
+    config: SimulationConfig,
+    store: "ResultStore | None" = None,
+    cache: bool = True,
+) -> str:
+    results = _compare_pattern2(config, store, cache)
     return (
         report.figure5_report(results["dac"], label="DAC_p2p")
         + "\n\n"
@@ -52,8 +93,12 @@ def _fig5(config: SimulationConfig) -> str:
     )
 
 
-def _fig6(config: SimulationConfig) -> str:
-    results = compare_protocols(config.replace(arrival_pattern=2))
+def _fig6(
+    config: SimulationConfig,
+    store: "ResultStore | None" = None,
+    cache: bool = True,
+) -> str:
+    results = _compare_pattern2(config, store, cache)
     return (
         report.figure6_report(results["dac"], label="DAC_p2p")
         + "\n\n"
@@ -61,45 +106,80 @@ def _fig6(config: SimulationConfig) -> str:
     )
 
 
-def _table1(config: SimulationConfig) -> str:
+def _table1(
+    config: SimulationConfig,
+    store: "ResultStore | None" = None,
+    cache: bool = True,
+) -> str:
+    result_set = (
+        Study.from_config(config)
+        .protocols("dac", "ndac")
+        .sweep("arrival_pattern", [2, 4])
+        .run(store=store, cache=cache)
+    )
     results = {
-        (protocol, pattern): run_simulation(
-            config.replace(protocol=protocol, arrival_pattern=pattern)
-        )
-        for protocol in ("dac", "ndac")
-        for pattern in (2, 4)
+        (record.protocol, record.arrival_pattern): record
+        for record in result_set
     }
     return report.table1_report(results)
 
 
-def _fig7(config: SimulationConfig) -> str:
-    result = run_simulation(config.replace(arrival_pattern=4, protocol="dac"))
-    return report.figure7_report(result)
+def _fig7(
+    config: SimulationConfig,
+    store: "ResultStore | None" = None,
+    cache: bool = True,
+) -> str:
+    result_set = Study.from_config(
+        config.replace(arrival_pattern=4, protocol="dac")
+    ).run(store=store, cache=cache)
+    return report.figure7_report(result_set[0])
 
 
-def _fig8a(config: SimulationConfig) -> str:
-    sweep = sweep_parameter(
-        config.replace(arrival_pattern=2), "probe_candidates", [4, 8, 16, 32]
+def _fig8a(
+    config: SimulationConfig,
+    store: "ResultStore | None" = None,
+    cache: bool = True,
+) -> str:
+    result_set = (
+        Study.from_config(config.replace(arrival_pattern=2))
+        .sweep("probe_candidates", [4, 8, 16, 32])
+        .run(store=store, cache=cache)
     )
+    sweep = {record.axis("probe_candidates"): record for record in result_set}
     return report.figure8_report(sweep, parameter_label="M")
 
 
-def _fig8b(config: SimulationConfig) -> str:
-    sweep = sweep_parameter(
-        config.replace(arrival_pattern=2),
-        "t_out_seconds",
-        [1 * MINUTE, 2 * MINUTE, 20 * MINUTE, 60 * MINUTE, 120 * MINUTE],
+def _fig8b(
+    config: SimulationConfig,
+    store: "ResultStore | None" = None,
+    cache: bool = True,
+) -> str:
+    result_set = (
+        Study.from_config(config.replace(arrival_pattern=2))
+        .sweep(
+            "t_out_seconds",
+            [1 * MINUTE, 2 * MINUTE, 20 * MINUTE, 60 * MINUTE, 120 * MINUTE],
+        )
+        .run(store=store, cache=cache)
     )
     relabeled = {
-        f"{value / MINUTE:.0f}min": result for value, result in sweep.items()
+        f"{record.axis('t_out_seconds') / MINUTE:.0f}min": record
+        for record in result_set
     }
     return report.figure8_report(relabeled, parameter_label="T_out")
 
 
-def _fig9(config: SimulationConfig) -> str:
-    sweep = sweep_parameter(
-        config.replace(arrival_pattern=2), "e_bkf", [1.0, 2.0, 3.0, 4.0]
+def _fig9(
+    config: SimulationConfig,
+    store: "ResultStore | None" = None,
+    cache: bool = True,
+) -> str:
+    result_set = (
+        Study.from_config(config.replace(arrival_pattern=2))
+        .sweep("e_bkf", [1.0, 2.0, 3.0, 4.0])
+        .run(store=store, cache=cache)
     )
+    sweep = {record.axis("e_bkf"): record for record in result_set}
     return report.figure9_report(sweep)
 
 
@@ -127,12 +207,23 @@ def list_experiments() -> str:
     )
 
 
-def run_experiment(experiment_id: str, config: SimulationConfig) -> str:
-    """Run one experiment by id and return its rendered report."""
+def run_experiment(
+    experiment_id: str,
+    config: SimulationConfig,
+    store: "ResultStore | None" = None,
+    cache: bool = True,
+) -> str:
+    """Run one experiment by id and return its rendered report.
+
+    With a ``store``, the experiment's grid is served from (and written
+    back to) the on-disk record cache instead of recomputing every run;
+    ``cache=False`` forces re-execution while still writing fresh
+    records back.
+    """
     try:
         experiment = EXPERIMENTS[experiment_id]
     except KeyError:
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; known:\n{list_experiments()}"
         ) from None
-    return experiment.runner(config)
+    return experiment.runner(config, store, cache)

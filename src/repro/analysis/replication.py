@@ -20,7 +20,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.analysis.stats import mean_confidence_interval, value_at_hour
-from repro.orchestration.batch import run_batch
+from repro.orchestration.study import Aggregate
 from repro.simulation.config import SimulationConfig
 from repro.simulation.metrics import SeriesPoint
 from repro.simulation.runner import SimulationResult
@@ -28,16 +28,14 @@ from repro.simulation.runner import SimulationResult
 __all__ = ["ScalarSummary", "SeriesEnvelope", "ReplicatedResult", "replicate"]
 
 
-@dataclass(frozen=True)
-class ScalarSummary:
-    """Mean and normal-approximation confidence half-width of a scalar."""
+class ScalarSummary(Aggregate):
+    """Mean and normal-approximation confidence half-width of a scalar.
 
-    mean: float
-    half_width: float
-    samples: tuple[float, ...]
-
-    def __str__(self) -> str:
-        return f"{self.mean:.2f} ± {self.half_width:.2f}"
+    Legacy name for :class:`~repro.orchestration.study.Aggregate` (the
+    shape :meth:`~repro.orchestration.study.ResultSet.aggregate`
+    returns); kept as a subclass so existing ``isinstance`` checks and
+    imports keep working.
+    """
 
 
 @dataclass(frozen=True)
@@ -56,7 +54,17 @@ class SeriesEnvelope:
 
 @dataclass
 class ReplicatedResult:
-    """Everything a k-seed replication produced."""
+    """Everything a k-seed replication produced.
+
+    ``results`` may hold live
+    :class:`~repro.simulation.runner.SimulationResult` objects or
+    cache-served :class:`~repro.orchestration.study.RunRecord` objects —
+    every accessor only touches the metrics interface the two share.
+
+    .. deprecated:: 1.1
+       Subsumed by :meth:`repro.orchestration.study.ResultSet.aggregate`,
+       which generalizes the mean ± CI summaries to any study axis.
+    """
 
     config: SimulationConfig
     seeds: tuple[int, ...]
@@ -122,15 +130,23 @@ def replicate(
     reproducible and disjoint; every other parameter is shared.  With
     ``jobs>1`` the seeds run on worker processes; results keep seed order
     and are identical to the serial path.
+
+    .. deprecated:: 1.1
+       Thin shim over :class:`~repro.orchestration.study.Study`; new code
+       should use ``Study.from_config(config).seeds(k)`` and
+       :meth:`~repro.orchestration.study.ResultSet.aggregate`.
     """
     if replications < 1:
         raise ValueError(f"need at least one replication, got {replications}")
-    seeds = tuple(
-        config.master_seed + i * seed_stride for i in range(replications)
+    from repro.orchestration.study import Study
+
+    result_set = (
+        Study.from_config(config)
+        .seeds(replications, stride=seed_stride)
+        .run(jobs=jobs)
     )
-    results = tuple(
-        run_batch(
-            [config.replace(master_seed=seed) for seed in seeds], jobs=jobs
-        )
+    return ReplicatedResult(
+        config=config,
+        seeds=tuple(record.seed for record in result_set),
+        results=tuple(record.result for record in result_set),
     )
-    return ReplicatedResult(config=config, seeds=seeds, results=results)

@@ -4,12 +4,21 @@ Commands
 --------
 ``run``
     One simulation run; prints the summary and (optionally) figure reports.
+``study``
+    Declarative experiment grid — scenario × protocols × sweeps × seeds —
+    executed through the :class:`~repro.orchestration.study.Study`
+    builder.  ``--protocols dac ndac`` adds a protocol axis, repeatable
+    ``--sweep PARAM V1 V2 ...`` adds parameter axes, ``--seeds K``
+    replicates every point; prints a per-run table plus mean ± CI
+    aggregates, and ``--export json|csv`` writes the full record set.
 ``compare``
     DAC vs NDAC under one workload; prints Figure 4/5/6 style output.
 ``sweep``
     Parameter sweep (M, T_out, E_bkf, …) printing Figure 8/9 style output.
 ``replicate``
     Multi-seed replication with mean ± CI summaries.
+``experiment``
+    Regenerate one paper table/figure by id (``fig1`` … ``table1``).
 ``scenarios``
     List every registered workload scenario.
 ``assignment``
@@ -21,14 +30,21 @@ Commands
 Simulation commands pick their workload with ``--scenario NAME`` (see
 ``scenarios``) or the legacy ``--pattern N`` shorthand, and accept
 ``--scale`` so full paper scale (1.0) or quick runs (0.05) are one flag
-away.  ``compare``/``sweep``/``replicate`` take ``--jobs N`` to fan their
-independent runs out over worker processes.
+away.  Grid commands (``study``/``compare``/``sweep``/``replicate``)
+take ``--jobs N`` to fan their independent runs out over worker
+processes, ``--cache-dir DIR`` to memoize run records on disk (repeat
+invocations are served from the
+:class:`~repro.orchestration.store.ResultStore` without re-simulating;
+``--no-cache`` forces re-execution), and ``--export json|csv`` (with
+``--out BASE``) to write the record set for downstream analysis.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
+from pathlib import Path
 
 from repro.analysis import report
 from repro.analysis.plots import ascii_chart, render_table
@@ -46,10 +62,12 @@ from repro.scenarios import (
     scenario_for_pattern,
     scenario_names,
 )
+from repro.orchestration.store import ResultStore
+from repro.orchestration.study import ResultSet, Study
 from repro.simulation.arrivals import arrivals_per_bin, generate_arrival_times, make_pattern
 from repro.simulation.config import SimulationConfig
 from repro.simulation.metrics import SeriesPoint
-from repro.simulation.runner import compare_protocols, run_simulation, sweep_parameter
+from repro.simulation.runner import run_simulation
 
 __all__ = ["main", "build_parser"]
 
@@ -84,6 +102,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=positive_int, default=1,
                        help="worker processes for independent runs (default 1)")
 
+    def add_cache(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", default=None,
+                       help="directory memoizing run records on disk; repeat "
+                            "invocations skip already-computed runs")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass cached records (fresh runs still land "
+                            "in --cache-dir)")
+
+    def add_export(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--export", action="append", choices=["json", "csv"],
+                       default=None, metavar="FORMAT",
+                       help="write the run records as json or csv "
+                            "(repeatable)")
+        p.add_argument("--out", default=None,
+                       help="output base path for --export "
+                            "(default: the command name; files get "
+                            ".json/.csv suffixes)")
+
     run_p = sub.add_parser("run", help="run one simulation")
     add_common(run_p)
     run_p.add_argument("--protocol", default=None,
@@ -92,13 +128,38 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--figures", action="store_true",
                        help="print Figure 5/6/7 reports for the run")
 
+    study_p = sub.add_parser(
+        "study", help="declarative grid: protocols x sweeps x seeds"
+    )
+    add_common(study_p)
+    add_jobs(study_p)
+    add_cache(study_p)
+    add_export(study_p)
+    study_p.add_argument("--protocols", nargs="+", default=None,
+                         metavar="PROTOCOL",
+                         help="admission policies to grid over (default: "
+                              "the scenario's single protocol)")
+    study_p.add_argument("--sweep", action="append", nargs="+", default=None,
+                         metavar=("PARAM VALUE", "VALUE"),
+                         help="sweep a config field: --sweep PARAM V1 V2 ... "
+                              "(repeatable; values coerced to the field's "
+                              "type)")
+    study_p.add_argument("--seeds", type=positive_int, default=1,
+                         help="replications per grid point (default 1)")
+    study_p.add_argument("--seed-stride", type=positive_int, default=1,
+                         help="stride between derived master seeds (default 1)")
+
     cmp_p = sub.add_parser("compare", help="DAC vs NDAC comparison")
     add_common(cmp_p)
     add_jobs(cmp_p)
+    add_cache(cmp_p)
+    add_export(cmp_p)
 
     sweep_p = sub.add_parser("sweep", help="parameter sweep")
     add_common(sweep_p)
     add_jobs(sweep_p)
+    add_cache(sweep_p)
+    add_export(sweep_p)
     sweep_p.add_argument("parameter",
                          choices=["probe_candidates", "t_out_seconds", "e_bkf"])
     sweep_p.add_argument("values", nargs="+", type=float, help="values to sweep")
@@ -106,6 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p = sub.add_parser("replicate", help="multi-seed replication")
     add_common(rep_p)
     add_jobs(rep_p)
+    add_cache(rep_p)
+    add_export(rep_p)
     rep_p.add_argument("--replications", type=positive_int, default=3,
                        help="number of derived master seeds (default 3)")
     rep_p.add_argument("--protocol", default=None,
@@ -127,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate one paper table/figure by id"
     )
     add_common(exp_p)
+    add_cache(exp_p)
     exp_p.add_argument("experiment_id", nargs="?", default=None,
                        help="experiment id (fig1, fig4, ..., table1); omit to list")
 
@@ -157,6 +221,57 @@ def _make_config(args: argparse.Namespace, **extra: object) -> SimulationConfig:
     return scenario.build_config(scale=args.scale, **extra)
 
 
+def _store_from(args: argparse.Namespace) -> ResultStore | None:
+    """The record store selected by ``--cache-dir``, if any."""
+    cache_dir = getattr(args, "cache_dir", None)
+    return ResultStore(cache_dir) if cache_dir else None
+
+
+def _export_result_set(
+    args: argparse.Namespace, result_set: ResultSet, default_base: str
+) -> None:
+    """Write the record set to every ``--export`` format requested."""
+    for fmt in getattr(args, "export", None) or []:
+        base = getattr(args, "out", None) or default_base
+        path = Path(f"{base}.{fmt}")
+        if fmt == "json":
+            result_set.to_json(path)
+        else:
+            result_set.to_csv(path)
+        print(f"wrote {path}")
+
+
+def _coerce_sweep_value(parameter: str, text: str) -> object:
+    """Parse a ``--sweep`` value string to the config field's type."""
+    defaults = {
+        f.name: f.default
+        for f in dataclasses.fields(SimulationConfig)
+        if f.default is not dataclasses.MISSING
+    }
+    default = defaults.get(parameter)
+    try:
+        if isinstance(default, bool):
+            return text.lower() in ("1", "true", "yes")
+        if isinstance(default, int):
+            return int(text)
+        if isinstance(default, float):
+            return float(text)
+    except ValueError:
+        raise P2PStreamError(
+            f"--sweep {parameter} value {text!r} is not a valid "
+            f"{type(default).__name__}"
+        ) from None
+    if isinstance(default, str):
+        return text
+    # optional/dict-valued fields: best-effort numeric, else verbatim
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _make_config(args)
     print(config.describe())
@@ -179,14 +294,74 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_study(args: argparse.Namespace) -> int:
+    config = _make_config(args)
+    print(config.describe())
+    study = Study.from_config(config, scenario=args.scenario)
+    if args.protocols:
+        study.protocols(*args.protocols)
+    for sweep_spec in args.sweep or []:
+        if len(sweep_spec) < 2:
+            raise P2PStreamError(
+                "--sweep needs a parameter name and at least one value"
+            )
+        parameter = sweep_spec[0]
+        study.sweep(
+            parameter,
+            [_coerce_sweep_value(parameter, text) for text in sweep_spec[1:]],
+        )
+    study.seeds(args.seeds, stride=args.seed_stride)
+    result_set = study.run(
+        jobs=args.jobs, store=_store_from(args), cache=not args.no_cache
+    )
+    rows = []
+    for record in result_set:
+        axes = " ".join(
+            f"{name}={value}" for name, value in record.axes
+            if name not in ("protocol", "seed")
+        )
+        rows.append([
+            record.scenario or "-",
+            record.protocol,
+            str(record.seed),
+            axes or "-",
+            f"{record.scalars['final_capacity']:.0f}",
+            f"{100 * record.capacity_fraction_of_max:.1f}%",
+            f"{record.wall_seconds:.2f}s",
+            "cache" if record.result is None else "run",
+        ])
+    print(render_table(
+        ["scenario", "protocol", "seed", "axes", "capacity", "% of max",
+         "wall", "source"],
+        rows,
+        title=f"study: {len(result_set)} runs",
+    ))
+    if args.seeds > 1:
+        print()
+        print("final capacity across seeds (mean ± 95% CI):")
+        for key, aggregate in result_set.aggregate("final_capacity").items():
+            label = " ".join(
+                f"{name}={value}" for name, value in key if value is not None
+            )
+            print(f"  {label or 'all runs'}: {aggregate}")
+    _export_result_set(args, result_set, "study")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _make_config(args)
     print(config.describe())
-    results = compare_protocols(config, jobs=args.jobs)
+    result_set = (
+        Study.from_config(config, scenario=args.scenario)
+        .protocols("dac", "ndac")
+        .run(jobs=args.jobs, store=_store_from(args), cache=not args.no_cache)
+    )
+    results = {record.protocol: record for record in result_set}
     pattern = config.arrival_pattern
     print(report.figure4_report(results, pattern=pattern))
     print()
     print(report.table1_report({(name, pattern): r for name, r in results.items()}))
+    _export_result_set(args, result_set, "compare")
     return 0
 
 
@@ -195,22 +370,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     values: list[object] = [
         int(v) if args.parameter == "probe_candidates" else v for v in args.values
     ]
-    results = sweep_parameter(config, args.parameter, values, jobs=args.jobs)
+    result_set = (
+        Study.from_config(config, scenario=args.scenario)
+        .sweep(args.parameter, values)
+        .run(jobs=args.jobs, store=_store_from(args), cache=not args.no_cache)
+    )
+    results = {value: record for value, record in zip(values, result_set)}
     if args.parameter == "e_bkf":
         print(report.figure9_report(results))
     else:
         label = {"probe_candidates": "M", "t_out_seconds": "T_out"}[args.parameter]
         print(report.figure8_report(results, parameter_label=label))
+    _export_result_set(args, result_set, "sweep")
     return 0
 
 
 def _cmd_replicate(args: argparse.Namespace) -> int:
-    from repro.analysis.replication import replicate
+    from repro.analysis.replication import ReplicatedResult
 
     config = _make_config(args)
     print(config.describe())
-    replicated = replicate(
-        config, replications=args.replications, jobs=args.jobs
+    result_set = (
+        Study.from_config(config, scenario=args.scenario)
+        .seeds(args.replications)
+        .run(jobs=args.jobs, store=_store_from(args), cache=not args.no_cache)
+    )
+    replicated = ReplicatedResult(
+        config=config,
+        seeds=tuple(record.seed for record in result_set),
+        results=tuple(result_set.records),
     )
     print(f"seeds: {', '.join(str(s) for s in replicated.seeds)}")
     rows = [["final capacity", str(replicated.final_capacity())]]
@@ -224,6 +412,7 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         ["metric", "mean ± 95% CI"], rows,
         title=f"{args.replications}-seed replication",
     ))
+    _export_result_set(args, result_set, "replicate")
     return 0
 
 
@@ -277,12 +466,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(list_experiments())
         return 0
     config = _make_config(args)
-    print(run_experiment(args.experiment_id, config))
+    print(run_experiment(
+        args.experiment_id, config,
+        store=_store_from(args), cache=not args.no_cache,
+    ))
     return 0
 
 
 _COMMANDS = {
     "run": _cmd_run,
+    "study": _cmd_study,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
     "replicate": _cmd_replicate,

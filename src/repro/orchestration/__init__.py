@@ -1,15 +1,47 @@
-"""Experiment orchestration: fanning independent runs over CPU cores.
+"""Experiment orchestration: declarative studies over a process pool.
 
-:func:`~repro.orchestration.batch.run_batch` executes a list of
-:class:`~repro.simulation.config.SimulationConfig` objects either
-serially (``jobs=1``, bit-identical to a plain loop) or over a process
-pool (``jobs>1``), always returning results in config order.  The
-higher-level helpers — :func:`~repro.simulation.runner.compare_protocols`,
+* :mod:`repro.orchestration.batch` — :func:`run_batch`, the one executor
+  every multi-run experiment funnels through (serial or process pool,
+  config-ordered, bit-identical results);
+* :mod:`repro.orchestration.runspec` — :class:`RunSpec`, a frozen,
+  content-hashed description of exactly one run;
+* :mod:`repro.orchestration.study` — the :class:`Study` builder
+  (``Study.from_scenario("flash_crowd").protocols("dac", "ndac")
+  .sweep("probe_candidates", [4, 8]).seeds(5)``), which expands any
+  scenario × protocol × parameter × seed grid into specs, executes them,
+  and returns a :class:`ResultSet` of JSON-serializable
+  :class:`RunRecord` objects with export, filter and mean ± CI
+  aggregation;
+* :mod:`repro.orchestration.store` — :class:`ResultStore`, disk
+  memoization of records keyed by spec hash, so repeated invocations
+  skip already-computed runs.
+
+The legacy helpers — :func:`~repro.simulation.runner.compare_protocols`,
 :func:`~repro.simulation.runner.sweep_parameter` and
-:func:`~repro.analysis.replication.replicate` — all accept a ``jobs``
-argument and delegate here.
+:func:`~repro.analysis.replication.replicate` — are thin shims over
+:class:`Study` and remain supported.
 """
 
 from repro.orchestration.batch import run_batch
+from repro.orchestration.runspec import RunSpec, config_from_dict, config_to_dict
+from repro.orchestration.study import (
+    Aggregate,
+    RecordMetrics,
+    ResultSet,
+    RunRecord,
+    Study,
+)
+from repro.orchestration.store import ResultStore
 
-__all__ = ["run_batch"]
+__all__ = [
+    "run_batch",
+    "RunSpec",
+    "config_to_dict",
+    "config_from_dict",
+    "Aggregate",
+    "RecordMetrics",
+    "ResultSet",
+    "RunRecord",
+    "Study",
+    "ResultStore",
+]

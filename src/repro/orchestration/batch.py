@@ -46,5 +46,9 @@ def run_batch(
     if jobs == 1 or len(config_list) <= 1:
         return [run_simulation(config) for config in config_list]
     workers = min(jobs, len(config_list))
+    # Batch tasks so a large grid (hundreds of specs) does not pay one
+    # round of pickling/IPC per run; Executor.map keeps result order for
+    # any chunksize.
+    chunksize = max(1, len(config_list) // workers)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_simulation, config_list, chunksize=1))
+        return list(pool.map(run_simulation, config_list, chunksize=chunksize))

@@ -37,6 +37,12 @@ BUILTIN_SCENARIOS: tuple[Scenario, ...] = (
         description="periodic evening waves as time zones hit prime time",
         arrival_pattern=4,
     ),
+    Scenario(
+        name="quickstart",
+        description="the guided tour's workload: the paper's world, meant "
+        "to be run at a small --scale for smoke tests and CI",
+        arrival_pattern=2,
+    ),
     # ---- extension workloads -------------------------------------------
     Scenario(
         name="heavy_churn",

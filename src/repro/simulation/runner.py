@@ -95,13 +95,19 @@ def compare_protocols(
     All runs share the master seed, so RNG streams are paired and observed
     differences are attributable to the protocols.  ``jobs>1`` fans the
     runs out over worker processes (results are identical, just faster).
-    """
-    from repro.orchestration.batch import run_batch
+    Duplicate protocol names raise
+    :class:`~repro.errors.ConfigurationError` instead of silently
+    collapsing to one entry.
 
-    results = run_batch(
-        [config.replace(protocol=protocol) for protocol in protocols], jobs=jobs
-    )
-    return dict(zip(protocols, results))
+    .. deprecated:: 1.1
+       Thin shim over :class:`~repro.orchestration.study.Study`; new code
+       should use ``Study.from_config(config).protocols(*protocols)``,
+       which adds seed axes, export and disk caching.
+    """
+    from repro.orchestration.study import Study
+
+    result_set = Study.from_config(config).protocols(*protocols).run(jobs=jobs)
+    return {record.protocol: record.result for record in result_set}
 
 
 def sweep_parameter(
@@ -113,12 +119,18 @@ def sweep_parameter(
     """Run the config once per value of ``parameter`` (Figures 8 and 9).
 
     ``jobs>1`` runs the sweep points on worker processes; the result dict
-    keeps the order of ``values`` either way.
+    keeps the order of ``values`` either way.  An unknown ``parameter``
+    raises :class:`~repro.errors.ConfigurationError` naming the valid
+    config fields; duplicate values raise instead of silently collapsing.
+
+    .. deprecated:: 1.1
+       Thin shim over :class:`~repro.orchestration.study.Study`; new code
+       should use ``Study.from_config(config).sweep(parameter, values)``.
     """
-    from repro.orchestration.batch import run_batch
+    from repro.orchestration.study import Study
 
     value_list = list(values)
-    results = run_batch(
-        [config.replace(**{parameter: value}) for value in value_list], jobs=jobs
-    )
-    return dict(zip(value_list, results))
+    result_set = Study.from_config(config).sweep(parameter, value_list).run(jobs=jobs)
+    return {
+        value: record.result for value, record in zip(value_list, result_set)
+    }

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.analysis.replication import replicate
+from repro.errors import ConfigurationError
 from repro.orchestration import run_batch
 from repro.simulation.config import SimulationConfig
 from repro.simulation.runner import (
@@ -61,6 +62,16 @@ class TestRunBatch:
         results = run_batch(configs, jobs=2)
         assert [r.config.master_seed for r in results] == [9, 4, 7]
 
+    def test_chunked_dispatch_keeps_order_and_content(self):
+        # More configs than workers exercises chunksize > 1 (derived from
+        # len(configs) // workers); order and results must be unaffected.
+        seeds = list(range(1, 8))
+        configs = [small_config(master_seed=s) for s in seeds]
+        serial = run_batch(configs, jobs=1)
+        chunked = run_batch(configs, jobs=2)
+        assert [r.config.master_seed for r in chunked] == seeds
+        assert fingerprint(serial) == fingerprint(chunked)
+
 
 class TestJobsPlumbing:
     def test_compare_protocols_parallel_parity(self):
@@ -83,3 +94,23 @@ class TestJobsPlumbing:
         parallel = replicate(config, replications=3, jobs=2)
         assert serial.seeds == parallel.seeds == (11, 12, 13)
         assert fingerprint(serial.results) == fingerprint(parallel.results)
+
+
+class TestShimValidation:
+    """The legacy helpers no longer silently collapse duplicate grid keys."""
+
+    def test_compare_rejects_duplicate_protocols(self):
+        with pytest.raises(ConfigurationError):
+            compare_protocols(small_config(), protocols=("dac", "dac"))
+
+    def test_sweep_rejects_duplicate_values(self):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(small_config(), "probe_candidates", [8, 8])
+
+    def test_sweep_rejects_unknown_parameter_naming_valid_fields(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            sweep_parameter(small_config(), "probe_count", [4])
+        message = str(excinfo.value)
+        assert "probe_count" in message
+        assert "probe_candidates" in message
+        assert "e_bkf" in message

@@ -37,8 +37,16 @@ class TestPublicApi:
             "run_simulation",
             "compare_protocols",
             "sweep_parameter",
+            "replicate",
+            "ReplicatedResult",
+            "run_experiment",
         ):
             assert name in repro.__all__
+
+    def test_study_api_present(self):
+        for name in ("Study", "RunSpec", "RunRecord", "ResultSet", "ResultStore"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
 
     def test_version_is_a_string(self):
         assert isinstance(repro.__version__, str)

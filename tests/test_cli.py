@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -120,3 +122,68 @@ class TestCommands:
         )
         assert code == 0
         assert "ndac" in capsys.readouterr().out
+
+
+class TestStudyCommand:
+    def test_study_grid_with_aggregates(self, capsys):
+        code = main(
+            ["study", "--scale", "0.004", "--pattern", "1",
+             "--protocols", "dac", "ndac", "--seeds", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "study: 4 runs" in out
+        assert "mean ± 95% CI" in out
+
+    def test_study_sweep_axis(self, capsys):
+        code = main(
+            ["study", "--scale", "0.004", "--pattern", "1",
+             "--sweep", "probe_candidates", "4", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "study: 2 runs" in out
+        assert "probe_candidates=4" in out
+
+    def test_study_export_and_cache(self, capsys, tmp_path):
+        out_base = str(tmp_path / "records")
+        cache_dir = str(tmp_path / "cache")
+        argv = ["study", "--scale", "0.004", "--pattern", "1",
+                "--export", "json", "--export", "csv", "--out", out_base,
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "source" in out and "run" in out
+        json_path = tmp_path / "records.json"
+        csv_path = tmp_path / "records.csv"
+        assert json.loads(json_path.read_text())["schema"] == "repro.study.v1"
+        assert csv_path.read_text().startswith("spec_hash,")
+        # Second invocation is served from the cache directory.
+        assert main(argv) == 0
+        assert "cache" in capsys.readouterr().out
+
+    def test_study_rejects_unknown_sweep_parameter(self, capsys):
+        code = main(
+            ["study", "--scale", "0.004", "--sweep", "probes", "4"]
+        )
+        assert code == 2
+        assert "probe_candidates" in capsys.readouterr().err
+
+    def test_compare_with_export(self, capsys, tmp_path):
+        out_base = str(tmp_path / "cmp")
+        code = main(
+            ["compare", "--scale", "0.004", "--pattern", "1",
+             "--export", "json", "--out", out_base]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "cmp.json").read_text())
+        assert payload["count"] == 2
+
+    def test_replicate_with_cache_dir(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["replicate", "--scale", "0.004", "--pattern", "1",
+                "--replications", "2", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "2-seed replication" in capsys.readouterr().out

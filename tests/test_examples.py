@@ -72,3 +72,14 @@ class TestExamplesRun:
         result = run_example("fluid_vs_simulation.py", "--scale", "0.01")
         assert result.returncode == 0, result.stderr
         assert "fluid envelope" in result.stdout
+
+    def test_study_grid(self, tmp_path):
+        out_dir = tmp_path / "study_out"
+        result = run_example(
+            "study_grid.py", "--scale", "0.004", "--seeds", "2",
+            "--out", str(out_dir),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "identical records: True" in result.stdout
+        assert (out_dir / "study.json").exists()
+        assert (out_dir / "study.csv").exists()
