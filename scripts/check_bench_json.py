@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate a ``bench_kernel_scaling.py`` JSON file against its schema.
+
+Stdlib-only checker used by the CI perf-smoke job (and available to
+users) to guarantee the benchmark export contract stays stable: schema
+tag, version stamp, per-run throughput fields and the per-scale speedup
+summaries.
+
+Usage:  python scripts/check_bench_json.py PATH/TO/BENCH_kernel_scaling.json
+Exit status 0 when the file conforms; 1 with a diagnostic otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+EXPECTED_SCHEMA = "repro.bench_kernel_scaling.v1"
+
+RUN_FIELDS = {
+    "scale": (int, float),
+    "peers": int,
+    "mode": str,
+    "kernel": str,
+    "events": int,
+    "wall_seconds": (int, float),
+    "events_per_sec": (int, float),
+}
+SPEEDUP_FIELDS = {
+    "scale": (int, float),
+    "peers": int,
+    "fast_kernel": str,
+    "events_per_sec": (int, float),
+    "speedup_vs_full_heap": (int, float),
+}
+
+
+def fail(message: str) -> None:
+    print(f"check_bench_json: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_fields(label: str, entry: object, fields: dict) -> None:
+    if not isinstance(entry, dict):
+        fail(f"{label} is not an object")
+    for name, types in fields.items():
+        if name not in entry:
+            fail(f"{label} missing field {name!r}")
+        if isinstance(entry[name], bool) or not isinstance(entry[name], types):
+            fail(f"{label}.{name} has type {type(entry[name]).__name__}, "
+                 f"expected {types}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        fail("usage: check_bench_json.py PATH/TO/BENCH_kernel_scaling.json")
+    try:
+        data = json.loads(open(argv[1], encoding="utf-8").read())
+    except (OSError, ValueError) as exc:
+        fail(f"cannot read {argv[1]}: {exc}")
+    if not isinstance(data, dict):
+        fail("top level is not an object")
+    if data.get("schema") != EXPECTED_SCHEMA:
+        fail(f"schema is {data.get('schema')!r}, expected {EXPECTED_SCHEMA!r}")
+    if not isinstance(data.get("version"), str):
+        fail("missing version stamp")
+    if not isinstance(data.get("scenario"), str):
+        fail("missing scenario name")
+    runs = data.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("runs must be a non-empty list")
+    for index, run in enumerate(runs):
+        check_fields(f"runs[{index}]", run, RUN_FIELDS)
+        if run["events_per_sec"] <= 0 or run["wall_seconds"] <= 0:
+            fail(f"runs[{index}] has non-positive throughput")
+        probes = run.get("probes")
+        if probes is not None and not isinstance(probes, list):
+            fail(f"runs[{index}].probes must be null or a list")
+    speedups = data.get("speedups")
+    if not isinstance(speedups, list) or not speedups:
+        fail("speedups must be a non-empty list")
+    for index, entry in enumerate(speedups):
+        check_fields(f"speedups[{index}]", entry, SPEEDUP_FIELDS)
+        vs_pre = entry.get("speedup_vs_pre_refactor")
+        if vs_pre is not None and (
+            isinstance(vs_pre, bool) or not isinstance(vs_pre, (int, float))
+        ):
+            fail(f"speedups[{index}].speedup_vs_pre_refactor must be "
+                 "null or numeric")
+    print(f"check_bench_json: OK ({len(runs)} runs, "
+          f"{len(speedups)} speedup summaries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -52,6 +52,8 @@ from repro.orchestration.study import ResultSet, RunRecord, Study
 from repro.orchestration.store import ResultStore
 from repro.scenarios import Scenario, get_scenario, scenario_names
 from repro.simulation.config import SimulationConfig
+from repro.simulation.kernel import CalendarKernel, EventKernel, HeapKernel
+from repro.simulation.probes import MetricsPipeline, Probe
 from repro.simulation.runner import (
     SimulationResult,
     compare_protocols,
@@ -96,6 +98,12 @@ __all__ = [
     "run_simulation",
     "compare_protocols",
     "sweep_parameter",
+    # event kernels and metric probes
+    "EventKernel",
+    "HeapKernel",
+    "CalendarKernel",
+    "MetricsPipeline",
+    "Probe",
     # scenarios and orchestration
     "Scenario",
     "get_scenario",

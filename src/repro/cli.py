@@ -21,6 +21,9 @@ Commands
     Regenerate one paper table/figure by id (``fig1`` … ``table1``).
 ``scenarios``
     List every registered workload scenario.
+``perf``
+    Performance harness: run one workload under every event kernel (and
+    the full-instrumentation reference) and print events/sec.
 ``assignment``
     OTS_p2p vs baselines on a supplier set given as classes, e.g.
     ``repro-p2pstream assignment 1 2 3 3``.
@@ -30,7 +33,12 @@ Commands
 Simulation commands pick their workload with ``--scenario NAME`` (see
 ``scenarios``) or the legacy ``--pattern N`` shorthand, and accept
 ``--scale`` so full paper scale (1.0) or quick runs (0.05) are one flag
-away.  Grid commands (``study``/``compare``/``sweep``/``replicate``)
+away.  ``--kernel heap|calendar`` selects the event-queue kernel
+(results are bit-identical either way; the calendar kernel is faster at
+population scale), ``--probes NAME...`` (on ``run``/``study``)
+subscribes only the named metric probes, and ``--profile`` (on
+``run``/``study``) wraps execution in :mod:`cProfile` and prints the top
+25 cumulative entries.  Grid commands (``study``/``compare``/``sweep``/``replicate``)
 take ``--jobs N`` to fan their independent runs out over worker
 processes, ``--cache-dir DIR`` to memoize run records on disk (repeat
 invocations are served from the
@@ -66,7 +74,9 @@ from repro.orchestration.store import ResultStore
 from repro.orchestration.study import ResultSet, Study
 from repro.simulation.arrivals import arrivals_per_bin, generate_arrival_times, make_pattern
 from repro.simulation.config import SimulationConfig
+from repro.simulation.kernel import KERNEL_NAMES
 from repro.simulation.metrics import SeriesPoint
+from repro.simulation.probes import PROBE_NAMES
 from repro.simulation.runner import run_simulation
 
 __all__ = ["main", "build_parser"]
@@ -91,6 +101,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=None, help="master RNG seed")
         p.add_argument("--lookup", choices=["directory", "chord"], default=None,
                        help="lookup substrate (default: the scenario's)")
+        p.add_argument("--kernel", choices=list(KERNEL_NAMES), default=None,
+                       help="event-queue kernel (results are bit-identical; "
+                            "default: the scenario's, normally heap)")
+
+    def add_probes(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--probes", nargs="+", choices=list(PROBE_NAMES),
+                       default=None, metavar="PROBE",
+                       help="subscribe only these metric probes (default: "
+                            "the scenario's, normally all)")
+
+    def add_profile(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--profile", action="store_true",
+                       help="wrap execution in cProfile and print the top "
+                            "25 cumulative entries")
 
     def positive_int(text: str) -> int:
         value = int(text)
@@ -122,6 +146,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one simulation")
     add_common(run_p)
+    add_probes(run_p)
+    add_profile(run_p)
     run_p.add_argument("--protocol", default=None,
                        help="admission policy name (dac, ndac, dac-no-reminder, "
                             "...; default: the scenario's, normally dac)")
@@ -132,6 +158,8 @@ def build_parser() -> argparse.ArgumentParser:
         "study", help="declarative grid: protocols x sweeps x seeds"
     )
     add_common(study_p)
+    add_probes(study_p)
+    add_profile(study_p)
     add_jobs(study_p)
     add_cache(study_p)
     add_export(study_p)
@@ -177,6 +205,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("scenarios", help="list the registered workload scenarios")
 
+    perf_p = sub.add_parser(
+        "perf", help="events/sec of one workload under every event kernel"
+    )
+    add_common(perf_p)
+    perf_p.add_argument("--kernels", nargs="+", choices=list(KERNEL_NAMES),
+                        default=None, metavar="KERNEL",
+                        help="kernels to measure (default: --kernel if "
+                             "given, else all)")
+    perf_p.add_argument("--repeats", type=positive_int, default=1,
+                        help="measurements per kernel; the best is reported "
+                             "(default 1)")
+    perf_p.add_argument("--no-reference", action="store_true",
+                        help="skip the full-instrumentation reference run "
+                             "(heap kernel, every probe, message accounting)")
+
     asg_p = sub.add_parser("assignment", help="compare assignment algorithms")
     asg_p.add_argument("classes", nargs="+", type=int,
                        help="supplier classes (offers must sum to R0), e.g. 1 2 3 3")
@@ -218,7 +261,29 @@ def _make_config(args: argparse.Namespace, **extra: object) -> SimulationConfig:
         extra["master_seed"] = args.seed
     if getattr(args, "protocol", None) is not None:
         extra["protocol"] = args.protocol
+    if getattr(args, "kernel", None) is not None:
+        extra["kernel"] = args.kernel
+    if getattr(args, "probes", None) is not None:
+        extra["probes"] = tuple(args.probes)
     return scenario.build_config(scale=args.scale, **extra)
+
+
+def _maybe_profiled(args: argparse.Namespace, body) -> int:
+    """Run ``body`` under cProfile when ``--profile`` was given."""
+    if not getattr(args, "profile", False):
+        return body()
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return body()
+    finally:
+        profiler.disable()
+        print()
+        print("profile (top 25 by cumulative time):")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
 
 
 def _store_from(args: argparse.Namespace) -> ResultStore | None:
@@ -273,6 +338,10 @@ def _coerce_sweep_value(parameter: str, text: str) -> object:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    return _maybe_profiled(args, lambda: _run_body(args))
+
+
+def _run_body(args: argparse.Namespace) -> int:
     config = _make_config(args)
     print(config.describe())
     result = run_simulation(config)
@@ -295,6 +364,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
+    return _maybe_profiled(args, lambda: _study_body(args))
+
+
+def _study_body(args: argparse.Namespace) -> int:
     config = _make_config(args)
     print(config.describe())
     study = Study.from_config(config, scenario=args.scenario)
@@ -416,6 +489,59 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    config = _make_config(args)
+    # --kernels wins; a bare --kernel measures just that kernel; neither
+    # measures them all
+    kernels = args.kernels or ([args.kernel] if args.kernel else list(KERNEL_NAMES))
+    print(config.describe())
+    print()
+
+    def measure(label: str, run_config: SimulationConfig) -> tuple[float, list[str]]:
+        best = None
+        for _ in range(args.repeats):
+            result = run_simulation(run_config)
+            events_per_sec = result.events_processed / result.wall_seconds
+            if best is None or events_per_sec > best[0]:
+                best = (events_per_sec, result)
+        events_per_sec, result = best
+        probes = run_config.probes
+        return events_per_sec, [
+            label,
+            run_config.kernel,
+            "all" if probes is None else f"{len(probes)}/{len(PROBE_NAMES)}",
+            f"{result.events_processed}",
+            f"{result.wall_seconds:.2f}s",
+            f"{events_per_sec:,.0f}",
+        ]
+
+    rows = []
+    reference_events_per_sec = None
+    if not args.no_reference:
+        # the full-instrumentation path: every probe, message accounting,
+        # binary heap — what every run paid before kernels and probe
+        # subscriptions existed
+        reference = config.replace(
+            kernel="heap", probes=None, track_messages=True
+        )
+        reference_events_per_sec, row = measure("reference", reference)
+        rows.append(row + ["1.00x"])
+    for kernel in kernels:
+        events_per_sec, row = measure("workload", config.replace(kernel=kernel))
+        speedup = (
+            f"{events_per_sec / reference_events_per_sec:.2f}x"
+            if reference_events_per_sec
+            else "-"
+        )
+        rows.append(row + [speedup])
+    print(render_table(
+        ["run", "kernel", "probes", "events", "wall", "events/sec", "speedup"],
+        rows,
+        title="perf: events/sec by kernel",
+    ))
+    return 0
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     print("registered scenarios:")
     for scenario in all_scenarios():
@@ -480,6 +606,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "replicate": _cmd_replicate,
     "scenarios": _cmd_scenarios,
+    "perf": _cmd_perf,
     "assignment": _cmd_assignment,
     "patterns": _cmd_patterns,
     "experiment": _cmd_experiment,

@@ -31,7 +31,7 @@ from repro.errors import ConfigurationError
 __all__ = ["AdmissionVector", "SupplierAdmissionState"]
 
 
-@dataclass
+@dataclass(slots=True)
 class AdmissionVector:
     """The admission probability vector ``Pa[1..N]`` of one supplying peer.
 
@@ -72,9 +72,20 @@ class AdmissionVector:
         return cls(ladder=ladder, probabilities=[1.0] * ladder.num_classes)
 
     def probability_for(self, requester_class: int) -> float:
-        """``Pa[requester_class]``."""
+        """``Pa[requester_class]``.
+
+        Millions of calls per run (every probe's grant test, every
+        favored-class query), so the valid-class fast path indexes the
+        vector directly; invalid classes fall through to the ladder's
+        validation for its precise error.  ``__class__ is int`` excludes
+        ``bool`` exactly as ``validate_class`` does.
+        """
+        if requester_class.__class__ is int and 1 <= requester_class <= len(
+            self.probabilities
+        ):
+            return self.probabilities[requester_class - 1]
         self.ladder.validate_class(requester_class)
-        return self.probabilities[requester_class - 1]
+        return self.probabilities[requester_class - 1]  # pragma: no cover
 
     def is_favored(self, requester_class: int) -> bool:
         """Paper definition: class ``j`` is favored iff ``Pa[j] == 1.0``."""
@@ -82,16 +93,28 @@ class AdmissionVector:
 
     def favored_classes(self) -> list[int]:
         """All favored class indices, highest class first."""
-        return [j for j in self.ladder.classes if self.is_favored(j)]
+        return [
+            j + 1 for j, value in enumerate(self.probabilities) if value == 1.0
+        ]
 
     def lowest_favored_class(self) -> int:
         """The numerically largest favored class (Figure 7's y-axis).
 
         The initial vector always favors the supplier's own class, and
         relax/tighten preserve "``Pa[1..k]`` all-ones for some ``k >= 1``",
-        so at least class 1 is favored at all times.
+        so at least class 1 is favored at all times.  This is the
+        Figure-7 snapshot's inner loop (every supplier, every 3 simulated
+        hours) and the idle-timer saturation guard, hence the bare
+        backwards scan instead of ``max(self.favored_classes())``.
         """
-        return max(self.favored_classes())
+        probabilities = self.probabilities
+        for index in range(len(probabilities) - 1, -1, -1):
+            if probabilities[index] == 1.0:
+                return index + 1
+        raise ConfigurationError(
+            "admission vector favors no class at all; the paper's invariant "
+            "guarantees Pa[1] == 1.0 at all times"
+        )
 
     def elevate(self) -> bool:
         """Paper rules (b)/(c-relax): double every sub-one probability.
@@ -129,7 +152,7 @@ class AdmissionVector:
         return AdmissionVector(ladder=self.ladder, probabilities=list(self.probabilities))
 
 
-@dataclass
+@dataclass(slots=True)
 class SupplierAdmissionState:
     """Full supplier-side DAC_p2p state: vector + per-session bookkeeping.
 
@@ -168,7 +191,7 @@ class SupplierAdmissionState:
 
     def on_request_while_busy(self, requester_class: int) -> None:
         """A request arrived while the supplier was serving a session."""
-        if self.vector.is_favored(requester_class):
+        if self.favors(requester_class):
             self.favored_request_while_busy = True
 
     def on_reminder(self, requester_class: int) -> None:
@@ -200,11 +223,25 @@ class SupplierAdmissionState:
     # queries
     # ------------------------------------------------------------------
     def grant_probability(self, requester_class: int) -> float:
-        """Probability of granting a class-``requester_class`` request now."""
+        """Probability of granting a class-``requester_class`` request now.
+
+        Called once per probed idle candidate — the vector's fast path is
+        inlined rather than paying two method hops per probe.
+        """
+        probabilities = self.vector.probabilities
+        if requester_class.__class__ is int and 1 <= requester_class <= len(
+            probabilities
+        ):
+            return probabilities[requester_class - 1]
         return self.vector.probability_for(requester_class)
 
     def favors(self, requester_class: int) -> bool:
         """Whether this supplier currently favors ``requester_class``."""
+        probabilities = self.vector.probabilities
+        if requester_class.__class__ is int and 1 <= requester_class <= len(
+            probabilities
+        ):
+            return probabilities[requester_class - 1] == 1.0
         return self.vector.is_favored(requester_class)
 
     def lowest_favored_class(self) -> int:

@@ -138,7 +138,7 @@ class Peer:
         return ladder.offer_units(self.peer_class)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SupplierOffer:
     """A supplying peer's offer as seen by a requesting peer.
 

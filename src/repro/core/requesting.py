@@ -49,7 +49,7 @@ class CandidateStatus(enum.Enum):
     DOWN = "down"                # unreachable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CandidateReport:
     """Result of contacting one candidate supplying peer.
 

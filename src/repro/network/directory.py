@@ -90,4 +90,5 @@ class CentralDirectory:
             rng.shuffle(chosen)
         else:
             chosen = rng.sample(entries, count)
-        return [(peer_id, self._classes[peer_id]) for peer_id in chosen]
+        classes = self._classes
+        return [(peer_id, classes[peer_id]) for peer_id in chosen]

@@ -87,6 +87,7 @@ class Transport:
         if message_bytes:
             self.message_bytes.update(message_bytes)
         self.stats = MessageStats()
+        self._reply_kinds: dict[str, str] = {}
 
     def send(self, kind: str, src: int, dst: int) -> float:
         """Record a one-way message; returns the latency it would incur."""
@@ -97,8 +98,15 @@ class Transport:
         return delay
 
     def round_trip(self, kind: str, src: int, dst: int) -> float:
-        """Record a request/response pair; returns the round-trip latency."""
-        return self.send(kind, src, dst) + self.send(kind + "_reply", dst, src)
+        """Record a request/response pair; returns the round-trip latency.
+
+        Every candidate probe is one of these, so the reply-kind string is
+        interned per kind instead of concatenated per call.
+        """
+        reply = self._reply_kinds.get(kind)
+        if reply is None:
+            reply = self._reply_kinds[kind] = kind + "_reply"
+        return self.send(kind, src, dst) + self.send(reply, dst, src)
 
     def reset(self) -> None:
         """Clear all recorded statistics."""

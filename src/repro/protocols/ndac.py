@@ -19,7 +19,7 @@ from repro.protocols.base import AdmissionPolicy, register_policy
 __all__ = ["NdacPolicy", "NdacSupplierState"]
 
 
-@dataclass
+@dataclass(slots=True)
 class NdacSupplierState:
     """All-ones vector, no dynamics — only the busy flag does anything."""
 
@@ -54,12 +54,20 @@ class NdacSupplierState:
 
     def grant_probability(self, requester_class: int) -> float:
         """Always 1.0 — NDAC admits whoever reaches an idle supplier."""
-        self.ladder.validate_class(requester_class)
+        if not (
+            requester_class.__class__ is int
+            and 1 <= requester_class <= self.ladder.num_classes
+        ):
+            self.ladder.validate_class(requester_class)
         return 1.0
 
     def favors(self, requester_class: int) -> bool:
         """Every class is favored."""
-        self.ladder.validate_class(requester_class)
+        if not (
+            requester_class.__class__ is int
+            and 1 <= requester_class <= self.ladder.num_classes
+        ):
+            self.ladder.validate_class(requester_class)
         return True
 
     def lowest_favored_class(self) -> int:

@@ -91,6 +91,53 @@ BUILTIN_SCENARIOS: tuple[Scenario, ...] = (
         arrival_pattern=2,
         down_probability=0.3,
     ),
+    # ---- population-scale workloads ------------------------------------
+    # Twice the paper's population (100k requesters) and multi-day
+    # horizons: tractable interactively only on the fast path — the
+    # calendar kernel plus a probe subscription that skips the expensive
+    # Figure-7 snapshot and the per-message accounting.  The probe
+    # subset and message tracking are part of what these scenarios
+    # *measure*; kernel choice never changes results (see
+    # repro.simulation.kernel) and is free to override.
+    Scenario(
+        name="metropolis_100k",
+        description="a metropolis-scale audience: twice the paper's "
+        "population (100k requesters) on the fast path",
+        arrival_pattern=2,
+        seed_suppliers=((1, 200),),
+        requesting_peers=((1, 10000), (2, 10000), (3, 40000), (4, 40000)),
+        config_overrides=(
+            ("kernel", "calendar"),
+            ("probes", ("capacity", "admission_rate", "overall_admission", "table1")),
+            ("track_messages", False),
+        ),
+    ),
+    Scenario(
+        name="flash_crowd_100k",
+        description="a metropolis-scale premiere: the 100k-requester "
+        "audience arriving as a flash crowd",
+        arrival_pattern=3,
+        seed_suppliers=((1, 200),),
+        requesting_peers=((1, 10000), (2, 10000), (3, 40000), (4, 40000)),
+        config_overrides=(
+            ("kernel", "calendar"),
+            ("probes", ("capacity", "admission_rate", "overall_admission", "table1")),
+            ("track_messages", False),
+        ),
+    ),
+    Scenario(
+        name="diurnal_week",
+        description="a week of evening waves: the paper's population with "
+        "arrivals over 7 days and an 8-day horizon",
+        arrival_pattern=4,
+        config_overrides=(
+            ("kernel", "calendar"),
+            ("probes", ("capacity", "admission_rate", "overall_admission", "table1")),
+            ("track_messages", False),
+            ("arrival_window_seconds", 7 * 24 * HOUR),
+            ("horizon_seconds", 8 * 24 * HOUR),
+        ),
+    ),
 )
 
 for _scenario in BUILTIN_SCENARIOS:

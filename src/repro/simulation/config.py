@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 
 from repro.core.model import ClassLadder
 from repro.errors import ConfigurationError
+from repro.simulation.kernel import KERNEL_NAMES
+from repro.simulation.probes import validate_probes
 from repro.streaming.media import MediaFile
 
 __all__ = ["SimulationConfig", "PAPER_CLASS_SHARES"]
@@ -93,6 +95,17 @@ class SimulationConfig:
     capacity_sample_seconds: float = 1 * HOUR
     rate_sample_seconds: float = 1 * HOUR
     favored_snapshot_seconds: float = 3 * HOUR
+    #: metric probes to subscribe (None = the full paper evaluation); a
+    #: tuple of names from :data:`repro.simulation.probes.PROBE_NAMES`
+    #: records only those artifacts and skips the others' accumulators
+    #: and sampler events entirely
+    probes: tuple[str, ...] | None = None
+
+    # ----- execution -------------------------------------------------------
+    #: event-queue kernel ("heap" or "calendar"); never changes results —
+    #: kernels are dispatch-order-identical (see repro.simulation.kernel) —
+    #: so it is excluded from result-cache hashes
+    kernel: str = "heap"
 
     # ----- reproducibility -------------------------------------------------
     master_seed: int = 20020701  # ICDCS 2002 was held in July
@@ -131,6 +144,15 @@ class SimulationConfig:
             raise ConfigurationError("supplier mean online time must be > 0")
         if self.supplier_mean_offline_seconds <= 0:
             raise ConfigurationError("supplier mean offline time must be > 0")
+        if self.kernel not in KERNEL_NAMES:
+            raise ConfigurationError(
+                f"unknown event kernel {self.kernel!r}; "
+                f"known: {', '.join(KERNEL_NAMES)}"
+            )
+        if self.probes is not None:
+            # normalize (JSON round-trips hand us lists) then validate
+            object.__setattr__(self, "probes", tuple(self.probes))
+            validate_probes(self.probes)
 
     # ------------------------------------------------------------------
     @property

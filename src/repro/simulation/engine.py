@@ -1,20 +1,27 @@
 """Minimal, fast discrete-event engine.
 
-Nothing here is specific to streaming: a binary-heap event queue, a clock,
-and deterministic FIFO tie-breaking for simultaneous events (a strict
-requirement for reproducible runs — Python's heap is not stable on its own).
+Nothing here is specific to streaming: a clock, monotone sequence numbers
+for deterministic FIFO tie-breaking of simultaneous events (a strict
+requirement for reproducible runs — Python's heap is not stable on its
+own), and a dispatch loop.  The pending-event set itself lives behind the
+pluggable :class:`~repro.simulation.kernel.EventKernel` seam, chosen per
+configuration (``SimulationConfig.kernel``): the classic binary
+:class:`~repro.simulation.kernel.HeapKernel` or the bucketed
+:class:`~repro.simulation.kernel.CalendarKernel`.  Both honour the same
+``(time, sequence)`` dispatch contract, so runs are bit-identical across
+kernels (see :mod:`repro.simulation.kernel` for the contract).
 
 Design notes
 ------------
-* Events are ``(time, sequence, callback, argument)`` tuples; comparing the
-  monotonically increasing sequence number breaks time ties and never falls
-  through to comparing callbacks (which would raise).
+* Events are ``(time, sequence, handle, callback, argument)`` tuples;
+  comparing the monotonically increasing sequence number breaks time ties
+  and never falls through to comparing callbacks (which would raise).
 * Cancellation is *logical*: :meth:`Simulator.cancel` marks a handle dead
-  and the main loop skips dead entries when they surface.  So that
-  cancellation-heavy workloads don't drag a growing graveyard through
-  every heap operation, the queue is compacted (live entries re-heapified)
-  whenever dead entries outnumber live ones; :attr:`Simulator.pending`
-  counts live events only.  The streaming system instead mostly uses
+  and the kernel skips dead entries when they surface, compacting its
+  storage when dead entries outnumber live ones.
+  :attr:`Simulator.pending` is a live-count integer the kernels maintain
+  incrementally — it is read in hot loops (runner progress accounting)
+  and never recounts the queue.  The streaming system instead mostly uses
   generation counters on its own state, which is cheaper than allocating
   handles for the (very hot) idle-timer path.
 * Time is float seconds.  All durations in this reproduction are sums of
@@ -24,28 +31,16 @@ Design notes
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Callable
-from dataclasses import dataclass
 
 from repro.errors import SimulationError
+from repro.simulation.kernel import EventHandle, EventKernel, HeapKernel, make_kernel
 
 __all__ = ["Simulator", "EventHandle"]
 
 
-@dataclass
-class EventHandle:
-    """Cancellable reference to a scheduled event."""
-
-    time: float
-    sequence: int
-    cancelled: bool = False
-    #: True once the event has left the queue (fired or skipped)
-    done: bool = False
-
-
 class Simulator:
-    """Event queue + clock.
+    """Clock + sequence numbers + dispatch over a pluggable event kernel.
 
     Examples
     --------
@@ -60,15 +55,23 @@ class Simulator:
     5.0
     """
 
-    #: don't bother compacting queues smaller than this
-    COMPACT_MIN_SIZE = 64
+    #: back-compat alias for the heap kernel's compaction threshold
+    COMPACT_MIN_SIZE = HeapKernel.COMPACT_MIN_SIZE
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self, start_time: float = 0.0, kernel: str | EventKernel = "heap"
+    ) -> None:
         self.now = start_time
-        self._queue: list[tuple[float, int, EventHandle, Callable, object]] = []
+        self.kernel: EventKernel = (
+            make_kernel(kernel) if isinstance(kernel, str) else kernel
+        )
         self._sequence = 0
-        self._cancelled = 0
         self.events_processed = 0
+
+    @property
+    def _queue(self) -> list:
+        """The heap kernel's raw entry list (tests and debugging only)."""
+        return self.kernel._queue  # type: ignore[attr-defined]
 
     def schedule_at(
         self, time: float, callback: Callable, argument: object = None
@@ -80,7 +83,7 @@ class Simulator:
             )
         self._sequence += 1
         handle = EventHandle(time=time, sequence=self._sequence)
-        heapq.heappush(self._queue, (time, self._sequence, handle, callback, argument))
+        self.kernel.push((time, self._sequence, handle, callback, argument))
         return handle
 
     def schedule_in(
@@ -94,32 +97,21 @@ class Simulator:
     def cancel(self, handle: EventHandle) -> None:
         """Mark an event dead; it is skipped when it reaches the queue head.
 
-        When more than half the queued entries are dead, the queue is
-        rebuilt from the live entries so cancellation-heavy workloads
-        don't keep paying heap costs for events that will never fire.
+        When more than half the kernel's stored entries are dead, the
+        kernel rebuilds its storage from the live entries so
+        cancellation-heavy workloads don't keep paying queue costs for
+        events that will never fire.
         """
-        if handle.cancelled or handle.done:
-            return
-        handle.cancelled = True
-        self._cancelled += 1
-        if (
-            len(self._queue) >= self.COMPACT_MIN_SIZE
-            and self._cancelled * 2 > len(self._queue)
-        ):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop dead entries and re-heapify (preserves (time, seq) order)."""
-        self._queue = [
-            entry for entry in self._queue if not entry[2].cancelled
-        ]
-        heapq.heapify(self._queue)
-        self._cancelled = 0
+        self.kernel.cancel(handle)
 
     @property
     def pending(self) -> int:
-        """Number of live (not fired, not cancelled) events in the queue."""
-        return len(self._queue) - self._cancelled
+        """Number of live (not fired, not cancelled) events in the queue.
+
+        A counter the kernel maintains incrementally — O(1), safe to read
+        in hot progress-accounting loops.
+        """
+        return self.kernel.live
 
     def run(self, until: float | None = None) -> None:
         """Process events in time order until the queue drains or ``until``.
@@ -127,15 +119,12 @@ class Simulator:
         With ``until`` set, events at exactly ``until`` are still processed;
         later ones stay queued and the clock is advanced to ``until``.
         """
-        while self._queue:
-            time, _seq, handle, callback, argument = self._queue[0]
-            if until is not None and time > until:
+        pop_due = self.kernel.pop_due
+        while True:
+            entry = pop_due(until)
+            if entry is None:
                 break
-            heapq.heappop(self._queue)
-            handle.done = True
-            if handle.cancelled:
-                self._cancelled -= 1
-                continue
+            time, _sequence, _handle, callback, argument = entry
             self.now = time
             self.events_processed += 1
             callback(argument)
@@ -144,14 +133,11 @@ class Simulator:
 
     def step(self) -> bool:
         """Process exactly one (non-cancelled) event; False if queue is empty."""
-        while self._queue:
-            time, _seq, handle, callback, argument = heapq.heappop(self._queue)
-            handle.done = True
-            if handle.cancelled:
-                self._cancelled -= 1
-                continue
-            self.now = time
-            self.events_processed += 1
-            callback(argument)
-            return True
-        return False
+        entry = self.kernel.pop_due(None)
+        if entry is None:
+            return False
+        time, _sequence, _handle, callback, argument = entry
+        self.now = time
+        self.events_processed += 1
+        callback(argument)
+        return True

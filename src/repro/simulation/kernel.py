@@ -1,0 +1,288 @@
+"""Pluggable event-queue kernels behind the :class:`Simulator` facade.
+
+A *kernel* owns the pending-event set of a run: it stores ``(time,
+sequence, handle, callback, argument)`` entries, hands back the earliest
+one on demand, and tracks logical cancellation.  The
+:class:`~repro.simulation.engine.Simulator` supplies the clock, the
+monotone sequence numbers and the dispatch loop; everything about *how*
+the pending set is organised lives here, so alternative priority-queue
+disciplines can be swapped per :class:`~repro.simulation.config.SimulationConfig`
+without touching the simulation layer.
+
+The determinism contract
+------------------------
+Every kernel MUST dispatch events in strictly increasing ``(time,
+sequence)`` order, where ``sequence`` is the monotonically increasing
+integer the simulator assigns at ``schedule_*`` time:
+
+* events at distinct times fire in time order;
+* events at the *same* time fire in scheduling (FIFO) order — Python
+  heaps are not stable on their own, which is why the sequence number is
+  part of every entry and always compared before anything else could be;
+* cancellation is *logical* (the handle is flagged; the entry is skipped
+  when it surfaces) so cancelling never perturbs the order of the
+  surviving events;
+* kernels never compare callbacks or arguments (sequence numbers are
+  unique, so tuple comparison always stops at the sequence).
+
+Because the simulation layer derives every random draw from named,
+config-seeded streams and schedules events in a deterministic order, this
+contract makes kernels *interchangeable*: the same configuration produces
+bit-identical metrics under :class:`HeapKernel` and
+:class:`CalendarKernel` (the cross-kernel parity suite in
+``tests/simulation/test_kernel.py`` pins exactly that, and
+:func:`~repro.orchestration.runspec.config_hash` therefore excludes the
+``kernel`` field from result-cache keys).
+
+Kernels
+-------
+:class:`HeapKernel`
+    The classic single binary heap.  Robust for any event mix; every
+    push/pop costs ``O(log n)`` tuple comparisons over the whole pending
+    set — which at population scale (100k prescheduled arrivals) is the
+    dominant constant of the hot loop.
+:class:`CalendarKernel`
+    A bucketed calendar queue: entries hash into fixed-width time buckets
+    (default 120 s), each bucket a small heap, with a second tiny heap
+    ordering the non-empty bucket indices.  Tuned for the near-future
+    timer churn that dominates this workload (idle-elevation ``T_out``,
+    backoff retries, session ends): pushes land in buckets of tens of
+    entries instead of a 100k-entry global heap.  Simulated time only
+    moves forward, so bucket indices are popped monotonically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "EventHandle",
+    "EventKernel",
+    "HeapKernel",
+    "CalendarKernel",
+    "KERNEL_NAMES",
+    "make_kernel",
+]
+
+#: one queued event: (time, sequence, handle, callback, argument)
+Entry = tuple[float, int, "EventHandle", Callable, object]
+
+
+@dataclass(slots=True)
+class EventHandle:
+    """Cancellable reference to a scheduled event."""
+
+    time: float
+    sequence: int
+    cancelled: bool = False
+    #: True once the event has left the queue (fired or skipped)
+    done: bool = False
+
+
+@runtime_checkable
+class EventKernel(Protocol):
+    """What the :class:`~repro.simulation.engine.Simulator` needs of a queue."""
+
+    #: number of live (not fired, not cancelled) entries — maintained
+    #: incrementally, never recounted
+    live: int
+
+    def push(self, entry: Entry) -> None:
+        """Store one event entry (its time is ``>=`` the current clock)."""
+        ...
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Logically delete the entry behind ``handle`` (idempotent)."""
+        ...
+
+    def pop_due(self, until: float | None) -> Entry | None:
+        """Remove and return the earliest live event's stored entry;
+        ``None`` when the queue is empty or the earliest live event is
+        after ``until``.  The stored tuple itself is returned — one less
+        allocation on a path that runs once per event."""
+        ...
+
+
+class HeapKernel:
+    """Single binary-heap event queue with dead-entry compaction.
+
+    Cancellation marks the handle and the main loop skips dead entries
+    when they surface.  So that cancellation-heavy workloads don't drag a
+    growing graveyard through every heap operation, the queue is
+    compacted (live entries re-heapified) whenever dead entries outnumber
+    live ones and the queue is at least :attr:`COMPACT_MIN_SIZE` long.
+    """
+
+    name = "heap"
+
+    #: don't bother compacting queues smaller than this
+    COMPACT_MIN_SIZE = 64
+
+    __slots__ = ("_queue", "_dead", "live")
+
+    def __init__(self) -> None:
+        self._queue: list[Entry] = []
+        self._dead = 0
+        self.live = 0
+
+    def push(self, entry: Entry) -> None:
+        """O(log n) insert."""
+        heapq.heappush(self._queue, entry)
+        self.live += 1
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Flag the handle dead; compact when the dead outnumber the live."""
+        if handle.cancelled or handle.done:
+            return
+        handle.cancelled = True
+        self._dead += 1
+        self.live -= 1
+        if (
+            len(self._queue) >= self.COMPACT_MIN_SIZE
+            and self._dead * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead entries and re-heapify (preserves (time, seq) order)."""
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._dead = 0
+
+    def pop_due(self, until: float | None) -> Entry | None:
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if until is not None and entry[0] > until:
+                return None
+            heapq.heappop(queue)
+            handle = entry[2]
+            handle.done = True
+            if handle.cancelled:
+                self._dead -= 1
+                continue
+            self.live -= 1
+            return entry
+        return None
+
+
+class CalendarKernel:
+    """Bucketed calendar queue tuned for near-future timer churn.
+
+    Entries hash by ``int(time // bucket_seconds)`` into per-bucket heaps;
+    a small heap of bucket indices orders the buckets themselves.  All
+    entries of bucket ``i`` precede all entries of bucket ``j > i``, and
+    the per-bucket heaps order ``(time, sequence)`` within a bucket, so
+    global dispatch order is exactly the heap kernel's.
+
+    The width trades bucket count against bucket size; the default suits
+    the paper's minutes-scale timers (``T_out`` 20 min, backoff >= 10 min,
+    hourly samplers) at populations of 10k-100k peers.
+    """
+
+    name = "calendar"
+
+    #: default bucket width in simulated seconds
+    DEFAULT_BUCKET_SECONDS = 120.0
+
+    #: don't bother compacting queues smaller than this (same policy as
+    #: the heap kernel, applied across all buckets)
+    COMPACT_MIN_SIZE = 64
+
+    __slots__ = ("_width", "_buckets", "_order", "_dead", "live")
+
+    def __init__(self, bucket_seconds: float = DEFAULT_BUCKET_SECONDS) -> None:
+        if bucket_seconds <= 0:
+            raise ConfigurationError(
+                f"bucket width must be > 0 seconds, got {bucket_seconds}"
+            )
+        self._width = bucket_seconds
+        self._buckets: dict[int, list[Entry]] = {}
+        #: heap of the indices of currently existing buckets
+        self._order: list[int] = []
+        self._dead = 0
+        self.live = 0
+
+    def push(self, entry: Entry) -> None:
+        """O(log bucket-size) insert, plus O(log buckets) on first use."""
+        index = int(entry[0] // self._width)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            self._buckets[index] = bucket = []
+            heapq.heappush(self._order, index)
+        heapq.heappush(bucket, entry)
+        self.live += 1
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Flag the handle dead; compact when the dead outnumber the live."""
+        if handle.cancelled or handle.done:
+            return
+        handle.cancelled = True
+        self._dead += 1
+        self.live -= 1
+        size = self.live + self._dead
+        if size >= self.COMPACT_MIN_SIZE and self._dead * 2 > size:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild every bucket from its live entries; drop empty buckets."""
+        buckets: dict[int, list[Entry]] = {}
+        for index, bucket in self._buckets.items():
+            kept = [entry for entry in bucket if not entry[2].cancelled]
+            if kept:
+                heapq.heapify(kept)
+                buckets[index] = kept
+        self._buckets = buckets
+        self._order = sorted(buckets)
+        self._dead = 0
+
+    def pop_due(self, until: float | None) -> Entry | None:
+        order = self._order
+        buckets = self._buckets
+        while order:
+            index = order[0]
+            bucket = buckets.get(index)
+            if not bucket:
+                # drained (or compacted away) bucket; retire its index
+                heapq.heappop(order)
+                if bucket is not None:
+                    del buckets[index]
+                continue
+            entry = bucket[0]
+            if until is not None and entry[0] > until:
+                return None
+            heapq.heappop(bucket)
+            handle = entry[2]
+            handle.done = True
+            if handle.cancelled:
+                self._dead -= 1
+                continue
+            self.live -= 1
+            return entry
+        return None
+
+
+#: registered kernels, by config name
+_KERNELS: dict[str, type] = {
+    HeapKernel.name: HeapKernel,
+    CalendarKernel.name: CalendarKernel,
+}
+
+#: valid values of ``SimulationConfig.kernel``
+KERNEL_NAMES: tuple[str, ...] = tuple(sorted(_KERNELS))
+
+
+def make_kernel(name: str) -> EventKernel:
+    """Instantiate a registered kernel by config name."""
+    try:
+        kernel_class = _KERNELS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown event kernel {name!r}; known: {', '.join(KERNEL_NAMES)}"
+        ) from None
+    return kernel_class()

@@ -1,7 +1,13 @@
-"""Metrics collectors behind every figure and table of the paper.
+"""Metrics collection behind every figure and table of the paper.
 
-One :class:`MetricsCollector` instance accompanies a simulation run and is
-fed by the streaming system at protocol events and periodic samplers:
+The accumulators themselves live in :mod:`repro.simulation.probes` as one
+composable probe per paper artifact, dispatched by a
+:class:`~repro.simulation.probes.MetricsPipeline`; studies subscribe only
+to the probes they need (``SimulationConfig.probes``).  This module keeps
+the historical names — :class:`MetricsCollector` is the pipeline with
+every probe subscribed (the full paper evaluation), and
+:class:`SeriesPoint` is re-exported — so existing imports, reports and
+serialized records keep working unchanged.
 
 =====================  ======================================================
 Paper artifact          Collector output
@@ -24,230 +30,22 @@ All cumulative series sample *state so far*, matching the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.core.capacity import CapacityLedger
 from repro.core.model import ClassLadder
+from repro.simulation.probes import MetricsPipeline, SeriesPoint
 
-__all__ = ["MetricsCollector", "SeriesPoint"]
+__all__ = ["MetricsCollector", "MetricsPipeline", "SeriesPoint"]
 
 HOUR = 3600.0
 
 
-@dataclass(frozen=True)
-class SeriesPoint:
-    """One sample of a time series: simulated hour plus a value."""
+class MetricsCollector(MetricsPipeline):
+    """The full metrics pipeline — every paper-artifact probe subscribed.
 
-    hour: float
-    value: float
+    Kept as the historical name for the monolithic collector; accepts the
+    same optional ``probes`` subscription as the pipeline.
+    """
 
-
-class MetricsCollector:
-    """Accumulates counters and periodic samples during a run."""
-
-    def __init__(self, ladder: ClassLadder) -> None:
-        self.ladder = ladder
-        classes = list(ladder.classes)
-
-        # ---- event counters (cumulative) ------------------------------
-        self.first_requests = {c: 0 for c in classes}
-        self.requests = {c: 0 for c in classes}
-        self.rejections = {c: 0 for c in classes}
-        self.admitted = {c: 0 for c in classes}
-        self.reminders_left = {c: 0 for c in classes}
-        self.supplier_departures = {c: 0 for c in classes}
-        self.supplier_rejoins = {c: 0 for c in classes}
-
-        # ---- accumulators over admitted peers --------------------------
-        self.rejections_before_admission_sum = {c: 0 for c in classes}
-        self.buffering_delay_slots_sum = {c: 0 for c in classes}
-        self.waiting_seconds_sum = {c: 0.0 for c in classes}
-        self.suppliers_per_session_sum = {c: 0 for c in classes}
-
-        # ---- periodic series -------------------------------------------
-        self.capacity_series: list[SeriesPoint] = []
-        self.capacity_fractional_series: list[SeriesPoint] = []
-        self.supplier_count_series: list[SeriesPoint] = []
-        self.admission_rate_series: dict[int, list[SeriesPoint]] = {
-            c: [] for c in classes
-        }
-        self.overall_admission_rate_series: list[SeriesPoint] = []
-        self.buffering_delay_series: dict[int, list[SeriesPoint]] = {
-            c: [] for c in classes
-        }
-        self.favored_series: dict[int, list[SeriesPoint]] = {c: [] for c in classes}
-
-    # ------------------------------------------------------------------
-    # event hooks
-    # ------------------------------------------------------------------
-    def on_first_request(self, peer_class: int) -> None:
-        """A peer made its first streaming request."""
-        self.first_requests[peer_class] += 1
-        self.requests[peer_class] += 1
-
-    def on_retry(self, peer_class: int) -> None:
-        """A previously rejected peer retried."""
-        self.requests[peer_class] += 1
-
-    def on_rejection(self, peer_class: int) -> None:
-        """A request (first or retry) was rejected."""
-        self.rejections[peer_class] += 1
-
-    def on_reminder(self, peer_class: int) -> None:
-        """A rejected class-``peer_class`` peer left one reminder."""
-        self.reminders_left[peer_class] += 1
-
-    def on_supplier_departure(self, peer_class: int) -> None:
-        """A supplier departed the system (supplier-churn extension)."""
-        self.supplier_departures[peer_class] += 1
-
-    def on_supplier_rejoin(self, peer_class: int) -> None:
-        """A departed supplier rejoined (supplier-churn extension)."""
-        self.supplier_rejoins[peer_class] += 1
-
-    def on_admission(
-        self,
-        peer_class: int,
-        rejections_before: int,
-        num_suppliers: int,
-        buffering_delay_slots: int,
-        waiting_seconds: float,
+    def __init__(
+        self, ladder: ClassLadder, probes: tuple[str, ...] | None = None
     ) -> None:
-        """A peer was admitted; record everything Table 1/Figs 5-6 need."""
-        self.admitted[peer_class] += 1
-        self.rejections_before_admission_sum[peer_class] += rejections_before
-        self.buffering_delay_slots_sum[peer_class] += buffering_delay_slots
-        self.suppliers_per_session_sum[peer_class] += num_suppliers
-        self.waiting_seconds_sum[peer_class] += waiting_seconds
-
-    # ------------------------------------------------------------------
-    # periodic samplers (driven by the streaming system)
-    # ------------------------------------------------------------------
-    def sample_capacity(self, now_seconds: float, ledger: CapacityLedger) -> None:
-        """Record the Figure-4 capacity sample at ``now_seconds``."""
-        hour = now_seconds / HOUR
-        self.capacity_series.append(SeriesPoint(hour, float(ledger.sessions)))
-        self.capacity_fractional_series.append(
-            SeriesPoint(hour, ledger.sessions_fractional)
-        )
-        self.supplier_count_series.append(SeriesPoint(hour, float(ledger.num_suppliers)))
-
-    def sample_rates(self, now_seconds: float) -> None:
-        """Record the Figure-5/6/9 cumulative samples at ``now_seconds``."""
-        hour = now_seconds / HOUR
-        total_first = sum(self.first_requests.values())
-        total_admitted = sum(self.admitted.values())
-        for peer_class in self.ladder.classes:
-            first = self.first_requests[peer_class]
-            admitted = self.admitted[peer_class]
-            if first > 0:
-                rate = 100.0 * admitted / first
-                self.admission_rate_series[peer_class].append(SeriesPoint(hour, rate))
-            if admitted > 0:
-                mean_delay = (
-                    self.buffering_delay_slots_sum[peer_class] / admitted
-                )
-                self.buffering_delay_series[peer_class].append(
-                    SeriesPoint(hour, mean_delay)
-                )
-        if total_first > 0:
-            self.overall_admission_rate_series.append(
-                SeriesPoint(hour, 100.0 * total_admitted / total_first)
-            )
-
-    def sample_favored(
-        self, now_seconds: float, lowest_favored_by_class: dict[int, list[int]]
-    ) -> None:
-        """Record the Figure-7 snapshot: per supplier class, the mean lowest
-        favored requesting class at ``now_seconds``."""
-        hour = now_seconds / HOUR
-        for peer_class, values in lowest_favored_by_class.items():
-            if values:
-                mean = sum(values) / len(values)
-                self.favored_series[peer_class].append(SeriesPoint(hour, mean))
-
-    # ------------------------------------------------------------------
-    # derived results
-    # ------------------------------------------------------------------
-    def mean_rejections_before_admission(self) -> dict[int, float]:
-        """Table 1: per-class mean rejections suffered before admission."""
-        return {
-            c: (
-                self.rejections_before_admission_sum[c] / self.admitted[c]
-                if self.admitted[c]
-                else float("nan")
-            )
-            for c in self.ladder.classes
-        }
-
-    def mean_buffering_delay_slots(self) -> dict[int, float]:
-        """Final per-class mean buffering delay (Figure 6 endpoint)."""
-        return {
-            c: (
-                self.buffering_delay_slots_sum[c] / self.admitted[c]
-                if self.admitted[c]
-                else float("nan")
-            )
-            for c in self.ladder.classes
-        }
-
-    def mean_waiting_seconds(self) -> dict[int, float]:
-        """Per-class mean waiting time from first request to admission."""
-        return {
-            c: (
-                self.waiting_seconds_sum[c] / self.admitted[c]
-                if self.admitted[c]
-                else float("nan")
-            )
-            for c in self.ladder.classes
-        }
-
-    def admission_rate_percent(self) -> dict[int, float]:
-        """Final per-class cumulative admission rate (Figure 5 endpoint)."""
-        return {
-            c: (
-                100.0 * self.admitted[c] / self.first_requests[c]
-                if self.first_requests[c]
-                else float("nan")
-            )
-            for c in self.ladder.classes
-        }
-
-    def final_capacity(self) -> float:
-        """Last Figure-4 sample (sessions)."""
-        return self.capacity_series[-1].value if self.capacity_series else 0.0
-
-    def to_dict(self) -> dict:
-        """JSON-friendly dump of every counter and series."""
-
-        def dump_series(series: list[SeriesPoint]) -> list[tuple[float, float]]:
-            return [(point.hour, point.value) for point in series]
-
-        return {
-            "first_requests": dict(self.first_requests),
-            "requests": dict(self.requests),
-            "rejections": dict(self.rejections),
-            "admitted": dict(self.admitted),
-            "reminders_left": dict(self.reminders_left),
-            "supplier_departures": dict(self.supplier_departures),
-            "supplier_rejoins": dict(self.supplier_rejoins),
-            "mean_rejections_before_admission": self.mean_rejections_before_admission(),
-            "mean_buffering_delay_slots": self.mean_buffering_delay_slots(),
-            "mean_waiting_seconds": self.mean_waiting_seconds(),
-            "admission_rate_percent": self.admission_rate_percent(),
-            "capacity_series": dump_series(self.capacity_series),
-            "capacity_fractional_series": dump_series(self.capacity_fractional_series),
-            "supplier_count_series": dump_series(self.supplier_count_series),
-            "admission_rate_series": {
-                c: dump_series(s) for c, s in self.admission_rate_series.items()
-            },
-            "overall_admission_rate_series": dump_series(
-                self.overall_admission_rate_series
-            ),
-            "buffering_delay_series": {
-                c: dump_series(s) for c, s in self.buffering_delay_series.items()
-            },
-            "favored_series": {
-                c: dump_series(s) for c, s in self.favored_series.items()
-            },
-        }
+        super().__init__(ladder, probes=probes)

@@ -58,6 +58,11 @@ class SupplierRegistry:
         self.suppliers_by_class: dict[int, list[SimPeer]] = {
             c: [] for c in self.ladder.classes
         }
+        # arm_idle_timer runs after every session end and every effective
+        # elevation — resolve its per-call constants once
+        self._uses_idle_elevation = policy.uses_idle_elevation
+        self._t_out_seconds = config.t_out_seconds
+        self._num_classes = self.ladder.num_classes
 
     # ------------------------------------------------------------------
     # population entry
@@ -151,17 +156,17 @@ class SupplierRegistry:
     # ------------------------------------------------------------------
     def arm_idle_timer(self, peer: SimPeer) -> None:
         """Arm the ``T_out`` elevation timer for an idle supplier."""
-        if not self.policy.uses_idle_elevation:
+        if not self._uses_idle_elevation:
             return
         state = peer.admission
         if state is None or state.busy or peer.departed:
             return
         # A supplier already favoring every class has nothing to elevate.
-        if state.lowest_favored_class() == self.ladder.num_classes:
+        if state.lowest_favored_class() == self._num_classes:
             return
         generation = peer.idle_timer_generation
         self.sim.schedule_in(
-            self.config.t_out_seconds, self._on_idle_timeout, (peer, generation)
+            self._t_out_seconds, self._on_idle_timeout, (peer, generation)
         )
 
     def _on_idle_timeout(self, payload: tuple[SimPeer, int]) -> None:

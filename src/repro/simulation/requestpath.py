@@ -18,6 +18,8 @@ One of the three collaborators behind the
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from repro.core.model import SupplierOffer
 from repro.core.requesting import (
     CandidateReport,
@@ -27,6 +29,7 @@ from repro.core.requesting import (
 )
 from repro.errors import SimulationError
 from repro.simulation.arrivals import generate_arrival_times, make_pattern
+from repro.simulation.churn import NoChurn
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import Simulator
 from repro.simulation.entities import SimPeer
@@ -37,6 +40,9 @@ from repro.simulation.trace import TraceRecorder
 from repro.streaming.session import plan_session
 
 __all__ = ["RequestPath"]
+
+#: sort key of the candidate probe order (C-level, it runs per request)
+_CANDIDATE_CLASS = itemgetter(1)
 
 
 class RequestPath:
@@ -70,6 +76,31 @@ class RequestPath:
         self.churn = churn
         self.registry = registry
         self.trace = trace
+
+        # The probe loop runs once per request event and a few times per
+        # candidate — the hottest Python in a run.  Everything constant is
+        # resolved once here instead of per event: ladder arithmetic,
+        # policy flags, the named RNG streams (their accessors are
+        # dict-backed properties), and whether the churn model can ever
+        # report a candidate down (NoChurn never consumes RNG, so skipping
+        # it is draw-for-draw identical).
+        self._full_rate_units = self.ladder.full_rate_units
+        self._offer_units = {
+            c: self.ladder.offer_units(c) for c in self.ladder.classes
+        }
+        self._media_id = self.media.media_id
+        self._probe_count = config.probe_candidates
+        self._uses_reminders = policy.uses_reminders
+        self._churn_active = not isinstance(churn, NoChurn)
+        self._admission_rng = streams.admission
+        self._churn_rng = streams.churn
+        self._lookup_rng = streams.lookup
+        # A session plan's timing depends only on the multiset of supplier
+        # classes (OTS_p2p is deterministic in it), and the backoff only on
+        # the rejection count — memoizing both skips re-deriving identical
+        # values thousands of times per run.
+        self._delay_slots_by_classes: dict[tuple[int, ...], int] = {}
+        self._backoff_by_rejections: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # arrivals
@@ -109,7 +140,7 @@ class RequestPath:
         else:
             self._reject(
                 peer,
-                enlisted_units=self.ladder.full_rate_units - deficit,
+                enlisted_units=self._full_rate_units - deficit,
                 contacted_busy=contacted_busy,
             )
 
@@ -120,27 +151,32 @@ class RequestPath:
         ``(enlisted suppliers, busy candidate reports, remaining deficit)``,
         or None when the lookup produced no candidates at all."""
         candidates = self.lookup.candidates(
-            self.media.media_id,
-            self.config.probe_candidates,
-            peer.peer_id,
-            self.streams.lookup,
+            self._media_id, self._probe_count, peer.peer_id, self._lookup_rng
         )
         if not candidates:
             return None
         # Stable sort by class keeps the lookup's random order within a class.
-        candidates.sort(key=lambda pair: pair[1])
+        candidates.sort(key=_CANDIDATE_CLASS)
 
-        admission_rng = self.streams.admission
-        churn_rng = self.streams.churn
-        deficit = self.ladder.full_rate_units
+        admission_random = self._admission_rng.random
+        peers = self.peers
+        transport = self.transport
+        offer_units = self._offer_units
+        churn = self.churn if self._churn_active else None
+        collect_busy = self._uses_reminders
+        requester_id = peer.peer_id
+        requester_class = peer.peer_class
+        deficit = self._full_rate_units
         enlisted: list[SimPeer] = []
         contacted_busy: list[CandidateReport] = []
 
         for candidate_id, candidate_class in candidates:
-            supplier = self.peers[candidate_id]
-            if self.transport is not None:
-                self.transport.round_trip("probe", peer.peer_id, candidate_id)
-            if self.churn.is_down(candidate_id, self.sim.now, churn_rng):
+            supplier = peers[candidate_id]
+            if transport is not None:
+                transport.round_trip("probe", requester_id, candidate_id)
+            if churn is not None and churn.is_down(
+                candidate_id, self.sim.now, self._churn_rng
+            ):
                 continue
             state = supplier.admission
             if state is None:
@@ -148,46 +184,35 @@ class RequestPath:
                     f"candidate {candidate_id} has no admission state"
                 )
             if state.busy:
-                state.on_request_while_busy(peer.peer_class)
-                contacted_busy.append(
-                    CandidateReport(
-                        peer_id=candidate_id,
-                        peer_class=candidate_class,
-                        units=self.ladder.offer_units(candidate_class),
-                        status=CandidateStatus.BUSY,
-                        favors_requester=state.favors(peer.peer_class),
+                state.on_request_while_busy(requester_class)
+                # The reports only feed reminder placement; policies
+                # without reminders never read them.
+                if collect_busy:
+                    contacted_busy.append(
+                        CandidateReport(
+                            peer_id=candidate_id,
+                            peer_class=candidate_class,
+                            units=offer_units[candidate_class],
+                            status=CandidateStatus.BUSY,
+                            favors_requester=state.favors(requester_class),
+                        )
                     )
-                )
                 continue
-            probability = state.grant_probability(peer.peer_class)
-            if probability >= 1.0 or admission_rng.random() < probability:
+            probability = state.grant_probability(requester_class)
+            if probability >= 1.0 or admission_random() < probability:
                 # Candidates arrive in descending-offer order, so a granted
                 # offer always fits the remaining deficit exactly (the
                 # power-of-two ladder; see core.requesting.greedy_fill).
-                units = self.ladder.offer_units(candidate_class)
                 enlisted.append(supplier)
-                deficit -= units
+                deficit -= offer_units[candidate_class]
                 if deficit == 0:
                     break
         return enlisted, contacted_busy, deficit
 
     def _admit(self, peer: SimPeer, enlisted: list[SimPeer]) -> None:
         """Start the streaming session for an admitted requesting peer."""
-        offers = [
-            SupplierOffer(
-                peer_id=s.peer_id,
-                peer_class=s.peer_class,
-                units=self.ladder.offer_units(s.peer_class),
-            )
-            for s in enlisted
-        ]
-        session = plan_session(
-            requester_id=peer.peer_id,
-            requester_class=peer.peer_class,
-            offers=offers,
-            media=self.media,
-            ladder=self.ladder,
-        )
+        delay_slots = self._buffering_delay_slots(enlisted)
+        num_suppliers = len(enlisted)
         for supplier in enlisted:
             supplier.admission.on_session_start()
             supplier.bump_idle_generation()
@@ -196,13 +221,13 @@ class RequestPath:
                 self.transport.send("session_start", peer.peer_id, supplier.peer_id)
 
         peer.admitted_time = self.sim.now
-        peer.buffering_delay_slots = session.buffering_delay_slots
-        peer.num_suppliers_served_by = session.num_suppliers
+        peer.buffering_delay_slots = delay_slots
+        peer.num_suppliers_served_by = num_suppliers
         self.metrics.on_admission(
             peer.peer_class,
             rejections_before=peer.rejections,
-            num_suppliers=session.num_suppliers,
-            buffering_delay_slots=session.buffering_delay_slots,
+            num_suppliers=num_suppliers,
+            buffering_delay_slots=delay_slots,
             waiting_seconds=peer.waiting_time or 0.0,
         )
         if self.trace:
@@ -212,11 +237,44 @@ class RequestPath:
                 peer=peer.peer_id,
                 peer_class=peer.peer_class,
                 suppliers=[s.peer_id for s in enlisted],
-                delay_slots=session.buffering_delay_slots,
+                delay_slots=delay_slots,
             )
+        # The transfer takes exactly the show time (aggregate supply rate
+        # == R0; see StreamingSession.transfer_seconds).
         self.sim.schedule_in(
-            session.transfer_seconds, self._on_session_end, (peer, enlisted)
+            self.media.show_seconds, self._on_session_end, (peer, enlisted)
         )
+
+    def _buffering_delay_slots(self, enlisted: list[SimPeer]) -> int:
+        """OTS_p2p buffering delay for this supplier set, memoized.
+
+        The delay depends only on the multiset of supplier classes, so the
+        full session plan (assignment + schedule) runs once per distinct
+        class combination; every later admission with the same mix reuses
+        the value.  ``plan_session`` itself stays the single source of
+        truth — this is a cache, not a reimplementation.
+        """
+        key = tuple(sorted(supplier.peer_class for supplier in enlisted))
+        delay = self._delay_slots_by_classes.get(key)
+        if delay is None:
+            offers = [
+                SupplierOffer(
+                    peer_id=index,
+                    peer_class=peer_class,
+                    units=self._offer_units[peer_class],
+                )
+                for index, peer_class in enumerate(key)
+            ]
+            session = plan_session(
+                requester_id=-1,
+                requester_class=1,
+                offers=offers,
+                media=self.media,
+                ladder=self.ladder,
+            )
+            delay = session.buffering_delay_slots
+            self._delay_slots_by_classes[key] = delay
+        return delay
 
     def _reject(
         self,
@@ -228,8 +286,8 @@ class RequestPath:
         peer.rejections += 1
         self.metrics.on_rejection(peer.peer_class)
 
-        if self.policy.uses_reminders and contacted_busy:
-            shortfall = self.ladder.full_rate_units - enlisted_units
+        if self._uses_reminders and contacted_busy:
+            shortfall = self._full_rate_units - enlisted_units
             for report in choose_reminder_set(contacted_busy, shortfall):
                 supplier = self.peers[report.peer_id]
                 supplier.admission.on_reminder(peer.peer_class)
@@ -237,9 +295,12 @@ class RequestPath:
                 if self.transport is not None:
                     self.transport.send("reminder", peer.peer_id, report.peer_id)
 
-        delay = backoff_delay(
-            peer.rejections, self.config.t_bkf_seconds, self.config.e_bkf
-        )
+        delay = self._backoff_by_rejections.get(peer.rejections)
+        if delay is None:
+            delay = backoff_delay(
+                peer.rejections, self.config.t_bkf_seconds, self.config.e_bkf
+            )
+            self._backoff_by_rejections[peer.rejections] = delay
         if self.trace:
             self.trace.record(
                 "rejection",

@@ -41,10 +41,19 @@ class Samplers:
         self.registry = registry
 
     def start(self) -> None:
-        """Take the t=0 samples; each sampler then reschedules itself."""
-        self._sample_capacity(None)
-        self._sample_rates(None)
-        self._sample_favored(None)
+        """Take the t=0 samples; each sampler then reschedules itself.
+
+        Only the clocks some subscribed probe consumes are started at all —
+        an unsubscribed artifact costs neither its samples nor its events
+        (the Figure-7 snapshot in particular walks the whole supplier
+        population every 3 simulated hours).
+        """
+        if self.metrics.wants_capacity_samples:
+            self._sample_capacity(None)
+        if self.metrics.wants_rate_samples:
+            self._sample_rates(None)
+        if self.metrics.wants_favored_samples:
+            self._sample_favored(None)
 
     def _sample_capacity(self, _arg: object) -> None:
         self.metrics.sample_capacity(self.sim.now, self.ledger)

@@ -50,9 +50,9 @@ class StreamingSystem:
         self.ladder = config.ladder
         self.media = config.media
         self.policy = make_policy(config.protocol)
-        self.sim = Simulator()
+        self.sim = Simulator(kernel=config.kernel)
         self.streams = RandomStreams(config.master_seed)
-        self.metrics = MetricsCollector(self.ladder)
+        self.metrics = MetricsCollector(self.ladder, probes=config.probes)
         self.ledger = CapacityLedger(self.ladder)
         self.trace = trace
 

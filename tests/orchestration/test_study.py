@@ -129,7 +129,7 @@ class TestStudyValidation:
 
     def test_unknown_override_rejected(self):
         with pytest.raises(ConfigurationError):
-            Study.from_config(small_config()).override(probes=9)
+            Study.from_config(small_config()).override(nonexistent_knob=9)
 
 
 class TestStudyRun:

@@ -167,6 +167,66 @@ class TestDeadEventCompaction:
         assert sim.events_processed == 0
 
 
+class TestCompactionEdgeCases:
+    def test_cancel_all_then_schedule(self):
+        """Cancelling every queued event must leave a clean, usable queue."""
+        sim = Simulator()
+        handles = [
+            sim.schedule_at(float(i), lambda _: None, None)
+            for i in range(Simulator.COMPACT_MIN_SIZE * 2)
+        ]
+        for handle in handles:
+            sim.cancel(handle)
+        assert sim.pending == 0
+        # compaction keeps the graveyard bounded: entries below the
+        # compaction threshold may linger, but never more
+        assert len(sim._queue) < Simulator.COMPACT_MIN_SIZE
+        fired = []
+        sim.schedule_at(5.0, fired.append, "fresh")
+        assert sim.pending == 1
+        sim.run()
+        assert fired == ["fresh"]
+        assert sim.events_processed == 1
+
+    def test_compaction_exactly_at_dead_gt_live_boundary(self):
+        """Compaction triggers at dead == live + 1, not at dead == live."""
+        sim = Simulator()
+        half = Simulator.COMPACT_MIN_SIZE // 2
+        live = [sim.schedule_at(float(i), lambda _: None, None) for i in range(half)]
+        dead = [
+            sim.schedule_at(1000.0 + i, lambda _: None, None) for i in range(half)
+        ]
+        for handle in dead[:-1]:
+            sim.cancel(handle)
+        assert len(sim._queue) == 2 * half
+        assert sim.pending == half + 1
+        sim.cancel(dead[-1])
+        # dead == live exactly: the threshold is strict (dead must
+        # OUTNUMBER live), so the graveyard is still queued
+        assert len(sim._queue) == 2 * half
+        assert sim.pending == half
+        sim.cancel(live[0])
+        # one more cancel tips dead past live: compaction fires and only
+        # the surviving live entries remain stored
+        assert len(sim._queue) == half - 1
+        assert sim.pending == half - 1
+
+    def test_cancel_all_then_schedule_calendar_kernel(self):
+        """The calendar kernel honours the same compaction policy."""
+        sim = Simulator(kernel="calendar")
+        handles = [
+            sim.schedule_at(float(i * 30), lambda _: None, None)
+            for i in range(Simulator.COMPACT_MIN_SIZE * 2)
+        ]
+        for handle in handles:
+            sim.cancel(handle)
+        assert sim.pending == 0
+        fired = []
+        sim.schedule_at(5.0, fired.append, "fresh")
+        sim.run()
+        assert fired == ["fresh"]
+
+
 class TestStep:
     def test_step_processes_one_event(self):
         sim = Simulator()

@@ -1,0 +1,209 @@
+"""Event-kernel unit tests and the cross-kernel determinism parity suite."""
+
+import json
+import random
+
+import pytest
+
+from repro.orchestration.runspec import RunSpec
+from repro.orchestration.study import RunRecord
+from repro.scenarios import all_scenarios, get_scenario
+from repro.simulation.engine import Simulator
+from repro.simulation.kernel import (
+    KERNEL_NAMES,
+    CalendarKernel,
+    EventKernel,
+    HeapKernel,
+    make_kernel,
+)
+from repro.simulation.runner import run_simulation
+from repro.errors import ConfigurationError
+
+
+class TestMakeKernel:
+    def test_known_names(self):
+        assert set(KERNEL_NAMES) == {"heap", "calendar"}
+        assert isinstance(make_kernel("heap"), HeapKernel)
+        assert isinstance(make_kernel("calendar"), CalendarKernel)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_kernel("fibonacci")
+
+    def test_kernels_satisfy_the_protocol(self):
+        assert isinstance(make_kernel("heap"), EventKernel)
+        assert isinstance(make_kernel("calendar"), EventKernel)
+
+    def test_invalid_calendar_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CalendarKernel(bucket_seconds=0.0)
+
+    def test_simulator_accepts_kernel_instances(self):
+        sim = Simulator(kernel=CalendarKernel(bucket_seconds=10.0))
+        fired = []
+        sim.schedule_at(5.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+
+
+@pytest.mark.parametrize("kernel_name", KERNEL_NAMES)
+class TestKernelContract:
+    """Both kernels honour the (time, sequence) dispatch contract."""
+
+    def test_time_order(self, kernel_name):
+        sim = Simulator(kernel=kernel_name)
+        fired = []
+        sim.schedule_at(500.0, fired.append, "late")
+        sim.schedule_at(1.0, fired.append, "early")
+        sim.schedule_at(250.0, fired.append, "middle")
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_simultaneous_events_fifo(self, kernel_name):
+        sim = Simulator(kernel=kernel_name)
+        fired = []
+        for label in "abcde":
+            sim.schedule_at(130.0, fired.append, label)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_cancellation_and_live_count(self, kernel_name):
+        sim = Simulator(kernel=kernel_name)
+        handles = [sim.schedule_at(float(i), lambda _: None, None) for i in range(10)]
+        for handle in handles[:4]:
+            sim.cancel(handle)
+        assert sim.pending == 6
+        sim.cancel(handles[0])  # double cancel is a no-op
+        assert sim.pending == 6
+        sim.run()
+        assert sim.events_processed == 6
+        assert sim.pending == 0
+
+    def test_run_until_boundary(self, kernel_name):
+        sim = Simulator(kernel=kernel_name)
+        fired = []
+        sim.schedule_at(100.0, fired.append, "in")
+        sim.schedule_at(300.0, fired.append, "edge")
+        sim.schedule_at(301.0, fired.append, "out")
+        sim.run(until=300.0)
+        assert fired == ["in", "edge"]
+        assert sim.now == 300.0
+        assert sim.pending == 1
+        sim.run()
+        assert fired == ["in", "edge", "out"]
+
+    def test_events_scheduled_during_run(self, kernel_name):
+        sim = Simulator(kernel=kernel_name)
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule_in(40.0, chain, n + 1)
+
+        sim.schedule_at(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 120.0
+
+
+class TestCalendarInternals:
+    def test_buckets_are_retired_and_recreated(self):
+        kernel = CalendarKernel(bucket_seconds=10.0)
+        sim = Simulator(kernel=kernel)
+        fired = []
+        sim.schedule_at(5.0, fired.append, "first")
+        sim.run()
+        # bucket 0 drained; schedule into it again at a later time offset
+        sim.schedule_at(7.0, fired.append, "second")
+        sim.schedule_at(25.0, fired.append, "third")
+        sim.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_compaction_rebuilds_buckets(self):
+        kernel = CalendarKernel(bucket_seconds=10.0)
+        sim = Simulator(kernel=kernel)
+        live = [sim.schedule_at(float(i), lambda _: None, None) for i in range(40)]
+        dead = [
+            sim.schedule_at(1000.0 + i, lambda _: None, None) for i in range(42)
+        ]
+        for handle in dead:
+            sim.cancel(handle)
+        # the graveyard was dropped: only live entries remain stored
+        stored = sum(len(bucket) for bucket in kernel._buckets.values())
+        assert stored == len(live)
+        assert sim.pending == len(live)
+        sim.run()
+        assert sim.events_processed == len(live)
+
+
+class TestCrossKernelEquivalence:
+    """Randomized schedule/cancel workloads fire identically on all kernels."""
+
+    def test_random_workload_parity(self):
+        def execute(kernel_name: str) -> list[tuple[float, int]]:
+            rng = random.Random(42)
+            sim = Simulator(kernel=kernel_name)
+            fired: list[tuple[float, int]] = []
+            handles = []
+            for i in range(500):
+                time = round(rng.uniform(0.0, 5000.0), 3)
+                handles.append(sim.schedule_at(time, fired.append, (time, i)))
+            for i in range(0, 500, 7):
+                sim.cancel(handles[i])
+            # interleave: drain half, schedule more, drain the rest
+            sim.run(until=2500.0)
+            for i in range(200):
+                time = round(sim.now + rng.uniform(0.0, 2500.0), 3)
+                sim.schedule_at(time, fired.append, (time, 500 + i))
+            sim.run()
+            return fired
+
+        baseline = execute("heap")
+        for kernel_name in KERNEL_NAMES:
+            assert execute(kernel_name) == baseline
+
+
+@pytest.mark.parametrize("scenario_name", ["quickstart", "heavy_churn"])
+def test_full_simulation_parity_across_kernels(scenario_name):
+    """HeapKernel and CalendarKernel produce bit-identical runs.
+
+    The acceptance bar of the kernel seam: same config (quickstart and the
+    churn workload, which exercises departure/rejoin timers) → identical
+    metrics payloads, event counts and message statistics under every
+    kernel; only wall time may differ.
+    """
+    config = get_scenario(scenario_name).build_config(scale=0.01)
+    reference = run_simulation(config.replace(kernel="heap"))
+    reference_dump = json.dumps(reference.metrics.to_dict(), sort_keys=True)
+    for kernel_name in KERNEL_NAMES:
+        result = run_simulation(config.replace(kernel=kernel_name))
+        # json text comparison keeps NaN means comparable (NaN != NaN)
+        assert json.dumps(result.metrics.to_dict(), sort_keys=True) == reference_dump
+        assert result.events_processed == reference.events_processed
+        assert result.message_stats == reference.message_stats
+
+
+def test_all_builtin_scenarios_produce_identical_records_across_kernels():
+    """Bit-identical RunRecords (up to wall time) on every builtin workload.
+
+    Record fingerprints cover the full serialized payload minus wall time;
+    the kernel field itself is normalized out (it is provenance, not a
+    measurement — and config hashes already exclude it, so both kernels'
+    records share one spec hash).
+    """
+    for scenario in all_scenarios():
+        config = scenario.build_config(scale=0.004)
+        fingerprints = set()
+        hashes = set()
+        for kernel_name in KERNEL_NAMES:
+            run_config = config.replace(kernel=kernel_name)
+            spec = RunSpec(config=run_config, scenario=scenario.name)
+            record = RunRecord.from_result(spec, run_simulation(run_config))
+            normalized = record.to_dict()
+            del normalized["wall_seconds"]
+            normalized["config"].pop("kernel")
+            fingerprints.add(repr(sorted(normalized.items(), key=lambda kv: kv[0])))
+            hashes.add(spec.spec_hash)
+        assert len(fingerprints) == 1, f"kernel-dependent record in {scenario.name}"
+        assert len(hashes) == 1, f"kernel leaked into spec hash in {scenario.name}"

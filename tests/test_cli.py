@@ -124,6 +124,53 @@ class TestCommands:
         assert "ndac" in capsys.readouterr().out
 
 
+class TestPerfAndProfiling:
+    def test_perf_command_reports_every_kernel(self, capsys):
+        assert main(["perf", "--scale", "0.004", "--scenario", "quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "events/sec" in out
+        assert "reference" in out
+        assert "calendar" in out
+        assert "heap" in out
+
+    def test_perf_no_reference(self, capsys):
+        assert main([
+            "perf", "--scale", "0.004", "--kernels", "calendar", "--no-reference",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "reference" not in out
+        assert "calendar" in out
+
+    def test_run_with_kernel_and_probes(self, capsys):
+        assert main([
+            "run", "--scale", "0.004", "--kernel", "calendar",
+            "--probes", "capacity", "table1",
+        ]) == 0
+        assert "capacity" in capsys.readouterr().out
+
+    def test_run_profile_prints_top_entries(self, capsys):
+        assert main(["run", "--scale", "0.004", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile (top 25 by cumulative time):" in out
+        assert "cumtime" in out
+
+    def test_study_profile_and_kernel(self, capsys):
+        assert main([
+            "study", "--scale", "0.004", "--kernel", "calendar", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "study: 1 runs" in out
+        assert "profile (top 25 by cumulative time):" in out
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--kernel", "fibonacci"])
+
+    def test_unknown_probe_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--probes", "nonexistent"])
+
+
 class TestStudyCommand:
     def test_study_grid_with_aggregates(self, capsys):
         code = main(
@@ -164,7 +211,7 @@ class TestStudyCommand:
 
     def test_study_rejects_unknown_sweep_parameter(self, capsys):
         code = main(
-            ["study", "--scale", "0.004", "--sweep", "probes", "4"]
+            ["study", "--scale", "0.004", "--sweep", "nonexistent_knob", "4"]
         )
         assert code == 2
         assert "probe_candidates" in capsys.readouterr().err
