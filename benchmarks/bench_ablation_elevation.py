@@ -1,4 +1,4 @@
-"""Ablation B — the elevation law (DESIGN.md §5.2).
+"""Ablation B — the elevation law.
 
 Compares the paper's doubling elevation against switching elevation off
 entirely and against a slower linear law.  Without any elevation, idle

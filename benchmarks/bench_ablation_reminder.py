@@ -1,4 +1,4 @@
-"""Ablation A — the value of the reminder technique (DESIGN.md §5.1).
+"""Ablation A — the value of the reminder technique.
 
 Reminders are DAC_p2p's only *tightening* signal: without them suppliers
 monotonically relax toward all-ones vectors and differentiation decays to

@@ -1,0 +1,93 @@
+"""Extension — mid-stream failure and recovery under the flash departure.
+
+The paper's adaptivity story (supplier elevation, backoff, reminders) is
+probed hardest when suppliers die *mid-stream*: the ``flash_departure``
+scenario takes 30% of the supplier population down simultaneously at hour
+36 and the interrupted requesters must re-probe, re-admit and resume from
+their buffer position (:mod:`repro.simulation.lifecycle`).
+
+This benchmark compares the three recovery modes against the churn-free
+reference and reports the continuity probes: interruptions, recovered vs
+lost sessions, mean recovery latency and the playback continuity index.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import cached_run, emit_report, repro_scale
+from repro.analysis.plots import render_table
+from repro.scenarios import get_scenario
+
+
+def test_lifecycle_recovery(benchmark):
+    """Flash departure: every recovery mode, plus the no-lifecycle baseline."""
+
+    def run():
+        scenario = get_scenario("flash_departure")
+        results = {"reference": cached_run(
+            scenario.build_config(scale=repro_scale(), lifecycle="none")
+        )}
+        for mode in ("resume", "restart", "abandon"):
+            results[mode] = cached_run(
+                scenario.build_config(
+                    scale=repro_scale(), lifecycle_recovery=mode
+                )
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, result in results.items():
+        metrics = result.metrics
+        interruptions = sum(metrics.interruptions.values())
+        recovered = sum(metrics.recovered_sessions.values())
+        lost = sum(metrics.sessions_lost.values())
+        latencies = [
+            value
+            for value in metrics.mean_recovery_latency_seconds().values()
+            if value == value  # drop NaN classes
+        ]
+        continuity = [
+            value
+            for value in metrics.playback_continuity_index().values()
+            if value == value
+        ]
+        rows.append([
+            label,
+            f"{interruptions}",
+            f"{recovered}",
+            f"{lost}",
+            f"{sum(latencies) / len(latencies) / 60:.1f} min" if latencies else "-",
+            f"{sum(continuity) / len(continuity):.4f}" if continuity else "-",
+            f"{metrics.final_capacity():.0f}",
+        ])
+    text = render_table(
+        ["recovery", "interruptions", "recovered", "lost", "mean latency",
+         "continuity", "final capacity"],
+        rows,
+        title="Extension — mid-stream failure/recovery under flash_departure "
+              "(30% of suppliers at hour 36)",
+    )
+    emit_report("lifecycle_recovery", text)
+
+    reference = results["reference"].metrics
+    resume = results["resume"].metrics
+    abandon = results["abandon"].metrics
+    # The reference never interrupts; the flash always does.
+    assert sum(reference.interruptions.values()) == 0
+    assert sum(resume.interruptions.values()) > 0
+    # The resume path actually recovers sessions, and recovered stalls
+    # cost continuity: the index drops below the stall-free 1.0 somewhere.
+    assert sum(resume.recovered_sessions.values()) > 0
+    continuity = [
+        value
+        for value in resume.playback_continuity_index().values()
+        if value == value
+    ]
+    assert continuity and min(continuity) < 1.0
+    # Abandoned sessions never finish, so they never promote suppliers:
+    # the abandon world cannot out-grow the resume world.
+    assert abandon.final_capacity() <= resume.final_capacity()
+    # Interruptions are identical across recovery modes (same departures,
+    # same first-interrupt draws) up to the recovery path's extra probes.
+    assert sum(abandon.interruptions.values()) > 0

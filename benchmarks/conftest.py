@@ -13,8 +13,8 @@ because the protocol dynamics depend on supply/demand ratios.
 Output
 ------
 Each benchmark writes its rendered report to ``benchmarks/output/<name>.txt``
-and prints it (visible with ``pytest -s``); EXPERIMENTS.md records the
-paper-vs-measured comparison.
+and prints it (visible with ``pytest -s``); ``docs/EXPERIMENTS.md`` maps
+every paper artifact to its benchmark and CLI recipe.
 """
 
 from __future__ import annotations
@@ -24,6 +24,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.orchestration.runspec import config_hash
 from repro.orchestration.store import ResultStore
 from repro.scenarios import get_scenario
 from repro.simulation.config import SimulationConfig
@@ -66,23 +67,13 @@ def paper_config(**overrides: object) -> SimulationConfig:
 
 
 def cached_run(config: SimulationConfig) -> SimulationResult:
-    """Run (or reuse) the simulation for ``config``."""
-    key = (
-        config.protocol,
-        config.arrival_pattern,
-        config.probe_candidates,
-        config.t_out_seconds,
-        config.t_bkf_seconds,
-        config.e_bkf,
-        config.lookup,
-        config.down_probability,
-        config.supplier_mean_online_seconds,
-        config.supplier_mean_offline_seconds,
-        config.suppliers_rejoin,
-        config.master_seed,
-        tuple(sorted(config.seed_suppliers.items())),
-        tuple(sorted(config.requesting_peers.items())),
-    )
+    """Run (or reuse) the simulation for ``config``.
+
+    Keyed by the run-spec content hash, which covers *every* config field
+    (minus the result-irrelevant kernel) — a hand-maintained field tuple
+    here silently collided when new knobs were added.
+    """
+    key = config_hash(config)
     if key not in _RESULT_CACHE:
         _RESULT_CACHE[key] = run_simulation(config)
     return _RESULT_CACHE[key]

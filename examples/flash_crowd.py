@@ -16,7 +16,7 @@ Run:  python examples/flash_crowd.py [--scale 0.05] [--scenario diurnal]
 
 import argparse
 
-from repro import compare_protocols
+from repro import Study
 from repro.analysis.plots import ascii_chart, render_table
 from repro.analysis.stats import value_at_hour
 from repro.scenarios import get_scenario, scenario_names
@@ -36,7 +36,14 @@ def main() -> None:
     print(f"Peers: {config.total_peers}; if every peer eventually supplies, "
           "capacity grows ~15x beyond the seeds.\n")
 
-    results = compare_protocols(config)
+    # a Study grid over the protocol axis; records are duck-compatible
+    # with live results, so the report code below doesn't care
+    result_set = (
+        Study.from_config(config, scenario=args.scenario)
+        .protocols("dac", "ndac")
+        .run()
+    )
+    results = {record.protocol: record for record in result_set}
 
     chart = ascii_chart(
         {name: r.metrics.capacity_series for name, r in results.items()},

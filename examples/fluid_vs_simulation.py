@@ -2,7 +2,8 @@
 """Fluid model vs discrete-event simulation — theory meeting practice.
 
 Integrates the protocol-free mean-field model of the self-growing system
-(THEORY.md §5) and overlays it on actual DAC_p2p and NDAC_p2p runs.  The
+(``repro.analysis.fluid``) and overlays it on actual DAC_p2p and NDAC_p2p
+runs.  The
 fluid curve is the capacity growth the feedback loop *could* deliver if
 admissions only waited for free supply; the gap each protocol leaves
 against it prices the mechanisms the fluid model ignores — probing
@@ -13,7 +14,7 @@ Run:  python examples/fluid_vs_simulation.py [--scale 0.05] [--pattern 2]
 
 import argparse
 
-from repro import compare_protocols
+from repro import Study
 from repro.analysis.fluid import fluid_capacity_model, mean_offer_sessions
 from repro.analysis.plots import ascii_chart, render_table
 from repro.analysis.stats import area_under_series, value_at_hour
@@ -32,7 +33,9 @@ def main() -> None:
           "(the feedback gain of the self-growing loop)\n")
 
     fluid = fluid_capacity_model(config)
-    results = compare_protocols(config)
+    # one declarative grid: the same seeded workload under both protocols
+    result_set = Study.from_config(config).protocols("dac", "ndac").run()
+    results = {record.protocol: record for record in result_set}
 
     print(ascii_chart(
         {

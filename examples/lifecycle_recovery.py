@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Mid-stream blackout — suppliers die while streaming, viewers recover.
+
+The ``flash_departure`` scenario drops 30% of the supplier population at
+hour 36, mid-premiere.  Every interrupted viewer re-probes for fresh
+suppliers and resumes from its buffer position (honoring the paper's
+exponential backoff); the continuity probes price the damage: stalls,
+recovery latency, and the playback continuity index.
+
+The example compares the three recovery policies the lifecycle layer
+supports — resume, restart, abandon — on the same seeded world.
+
+Run:  python examples/lifecycle_recovery.py [--scale 0.05]
+"""
+
+import argparse
+
+from repro import get_scenario, run_simulation
+from repro.analysis.plots import ascii_chart, render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="population scale (1.0 = 50,100 peers)")
+    args = parser.parse_args()
+
+    scenario = get_scenario("flash_departure")
+    results = {}
+    for mode in ("resume", "restart", "abandon"):
+        config = scenario.build_config(scale=args.scale, lifecycle_recovery=mode)
+        results[mode] = run_simulation(config)
+    print("Scenario:", results["resume"].config.describe())
+    print()
+
+    resume = results["resume"].metrics
+    print(ascii_chart(
+        {"suppliers": resume.supplier_count_series},
+        title="Supplier population around the hour-36 blackout (resume)",
+        y_label="suppliers",
+    ))
+    print()
+
+    rows = []
+    for mode, result in results.items():
+        metrics = result.metrics
+        interrupted = sum(metrics.interruptions.values())
+        recovered = sum(metrics.recovered_sessions.values())
+        lost = sum(metrics.sessions_lost.values())
+        continuity = [
+            value
+            for value in metrics.playback_continuity_index().values()
+            if value == value  # drop NaN classes
+        ]
+        latency = [
+            value
+            for value in metrics.mean_recovery_latency_seconds().values()
+            if value == value
+        ]
+        rows.append([
+            mode,
+            f"{interrupted}",
+            f"{recovered}",
+            f"{lost}",
+            f"{sum(latency) / len(latency) / 60:.0f} min" if latency else "-",
+            f"{sum(continuity) / len(continuity):.4f}" if continuity else "-",
+            f"{metrics.final_capacity():.0f}",
+        ])
+    print(render_table(
+        ["recovery", "interrupted", "recovered", "lost", "mean latency",
+         "continuity", "final capacity"],
+        rows,
+        title="What a mid-stream blackout costs, per recovery policy",
+    ))
+    print()
+    print("resume keeps every viewer: the stall is the recovery latency plus")
+    print("one fresh buffering delay.  abandon turns each interruption into a")
+    print("lost viewer — and a supplier the system never gains.")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,8 +23,10 @@ Quickstart
 >>> result.metrics.final_capacity() > 0
 True
 
-See ``examples/quickstart.py`` for a guided tour and DESIGN.md for the
-system inventory.
+See ``examples/quickstart.py`` for a guided tour,
+``docs/ARCHITECTURE.md`` for the module-by-module map to paper sections,
+and ``docs/EXPERIMENTS.md`` for the CLI reference with one recipe per
+paper figure/table.
 """
 
 from repro.core.model import ClassLadder, Peer, PeerRole, SupplierOffer
@@ -44,7 +46,7 @@ from repro.core.theorems import theorem1_min_delay_slots
 from repro.core.admission import AdmissionVector, SupplierAdmissionState
 from repro.core.capacity import CapacityLedger, max_capacity_sessions
 from repro.streaming.media import MediaFile
-from repro.streaming.session import StreamingSession, plan_session
+from repro.streaming.session import ActiveSession, StreamingSession, plan_session
 from repro._version import __version__
 from repro.orchestration.batch import run_batch
 from repro.orchestration.runspec import RunSpec
@@ -53,6 +55,13 @@ from repro.orchestration.store import ResultStore
 from repro.scenarios import Scenario, get_scenario, scenario_names
 from repro.simulation.config import SimulationConfig
 from repro.simulation.kernel import CalendarKernel, EventKernel, HeapKernel
+from repro.simulation.lifecycle import (
+    LIFECYCLE_NAMES,
+    RECOVERY_MODES,
+    LifecycleDynamics,
+    LifecycleModel,
+    make_lifecycle,
+)
 from repro.simulation.probes import MetricsPipeline, Probe
 from repro.simulation.runner import (
     SimulationResult,
@@ -90,6 +99,7 @@ __all__ = [
     # streaming
     "MediaFile",
     "StreamingSession",
+    "ActiveSession",
     "plan_session",
     # simulation
     "SimulationConfig",
@@ -104,6 +114,12 @@ __all__ = [
     "CalendarKernel",
     "MetricsPipeline",
     "Probe",
+    # session-lifecycle dynamics
+    "LifecycleModel",
+    "LifecycleDynamics",
+    "make_lifecycle",
+    "LIFECYCLE_NAMES",
+    "RECOVERY_MODES",
     # scenarios and orchestration
     "Scenario",
     "get_scenario",

@@ -1,6 +1,7 @@
 """Named experiment registry: one entry per paper table/figure.
 
-This mirrors DESIGN.md §4's experiment index in executable form: each
+This is the experiment index of ``docs/EXPERIMENTS.md`` in executable
+form: each
 experiment id maps to a function that takes a scaled
 :class:`~repro.simulation.config.SimulationConfig` and returns the rendered
 report text.  The CLI exposes it as ``python -m repro experiment <id>``;

@@ -3,7 +3,8 @@
 Every function returns a string containing the same rows/series the paper
 reports — a table for Table 1, an ASCII chart plus sampled values for each
 figure.  The benchmark harness calls these and checks the qualitative
-claims; EXPERIMENTS.md records paper-vs-measured values produced here.
+claims; ``docs/EXPERIMENTS.md`` holds the recipe regenerating each
+artifact.
 """
 
 from __future__ import annotations

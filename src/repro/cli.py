@@ -35,10 +35,13 @@ Simulation commands pick their workload with ``--scenario NAME`` (see
 ``--scale`` so full paper scale (1.0) or quick runs (0.05) are one flag
 away.  ``--kernel heap|calendar`` selects the event-queue kernel
 (results are bit-identical either way; the calendar kernel is faster at
-population scale), ``--probes NAME...`` (on ``run``/``study``)
-subscribes only the named metric probes, and ``--profile`` (on
-``run``/``study``) wraps execution in :mod:`cProfile` and prints the top
-25 cumulative entries.  Grid commands (``study``/``compare``/``sweep``/``replicate``)
+population scale), ``--lifecycle`` selects a session-lifecycle model
+scheduling mid-stream supplier departures (with ``--recovery``
+choosing what interrupted requesters do; see
+:mod:`repro.simulation.lifecycle`), ``--probes NAME...`` (on
+``run``/``study``) subscribes only the named metric probes (space- or
+comma-separated), and ``--profile`` (on ``run``/``study``) wraps
+execution in :mod:`cProfile` and prints the top 25 cumulative entries.  Grid commands (``study``/``compare``/``sweep``/``replicate``)
 take ``--jobs N`` to fan their independent runs out over worker
 processes, ``--cache-dir DIR`` to memoize run records on disk (repeat
 invocations are served from the
@@ -75,6 +78,7 @@ from repro.orchestration.study import ResultSet, Study
 from repro.simulation.arrivals import arrivals_per_bin, generate_arrival_times, make_pattern
 from repro.simulation.config import SimulationConfig
 from repro.simulation.kernel import KERNEL_NAMES
+from repro.simulation.lifecycle import LIFECYCLE_NAMES, RECOVERY_MODES
 from repro.simulation.metrics import SeriesPoint
 from repro.simulation.probes import PROBE_NAMES
 from repro.simulation.runner import run_simulation
@@ -104,12 +108,35 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--kernel", choices=list(KERNEL_NAMES), default=None,
                        help="event-queue kernel (results are bit-identical; "
                             "default: the scenario's, normally heap)")
+        p.add_argument("--lifecycle", choices=list(LIFECYCLE_NAMES),
+                       default=None,
+                       help="session-lifecycle model scheduling mid-stream "
+                            "supplier departures (default: the scenario's, "
+                            "normally none)")
+        p.add_argument("--recovery", choices=list(RECOVERY_MODES),
+                       default=None,
+                       help="what interrupted requesters do under a "
+                            "lifecycle model (default: the scenario's, "
+                            "normally resume)")
+
+    def probe_names(text: str) -> list[str]:
+        """One ``--probes`` token: a probe name or a comma-separated list."""
+        names = [name for name in text.split(",") if name]
+        if not names:
+            raise argparse.ArgumentTypeError("empty probe list")
+        for name in names:
+            if name not in PROBE_NAMES:
+                raise argparse.ArgumentTypeError(
+                    f"unknown probe {name!r}; known: {', '.join(PROBE_NAMES)}"
+                )
+        return names
 
     def add_probes(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--probes", nargs="+", choices=list(PROBE_NAMES),
+        p.add_argument("--probes", nargs="+", type=probe_names,
                        default=None, metavar="PROBE",
-                       help="subscribe only these metric probes (default: "
-                            "the scenario's, normally all)")
+                       help="subscribe only these metric probes, space- or "
+                            "comma-separated (default: the scenario's, "
+                            f"normally all; known: {', '.join(PROBE_NAMES)})")
 
     def add_profile(p: argparse.ArgumentParser) -> None:
         p.add_argument("--profile", action="store_true",
@@ -263,8 +290,15 @@ def _make_config(args: argparse.Namespace, **extra: object) -> SimulationConfig:
         extra["protocol"] = args.protocol
     if getattr(args, "kernel", None) is not None:
         extra["kernel"] = args.kernel
+    if getattr(args, "lifecycle", None) is not None:
+        extra["lifecycle"] = args.lifecycle
+    if getattr(args, "recovery", None) is not None:
+        extra["lifecycle_recovery"] = args.recovery
     if getattr(args, "probes", None) is not None:
-        extra["probes"] = tuple(args.probes)
+        # each --probes token may itself be a comma-separated list
+        extra["probes"] = tuple(
+            name for chunk in args.probes for name in chunk
+        )
     return scenario.build_config(scale=args.scale, **extra)
 
 

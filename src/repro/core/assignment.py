@@ -134,9 +134,9 @@ def ots_assignment(
     ``n`` suppliers; the test suite verifies this against a brute-force
     oracle.  Note that the simplified pseudo-code printed as the paper's
     Figure 2 (see :func:`sweep_assignment`) matches this optimum on the
-    paper's worked example but not on every input — DESIGN.md §6 records
-    the discrepancy and why the sorted matching is the faithful reading of
-    Theorem 1.
+    paper's worked example but not on every input — the sorted matching
+    (not the sweep) is the faithful reading of Theorem 1, and
+    ``benchmarks/bench_theorem1_optimality.py`` pins the discrepancy.
 
     Parameters
     ----------

@@ -4,7 +4,7 @@ The simulator only ever needs one operation: *give me up to M random
 candidate supplying peers (with classes) for this media*.  Both substrates
 provide it; the adapters below also charge the transport for the control
 messages each substrate would generate, so experiments can compare their
-signalling overhead (Ablation C in DESIGN.md).
+signalling overhead (``benchmarks/bench_ablation_lookup.py``).
 """
 
 from __future__ import annotations

@@ -83,12 +83,25 @@ _CLASS_SCALARS = (
     "mean_waiting_seconds",
     "admission_rate_percent",
 )
+#: class-keyed payload of the lifecycle extension's continuity probe —
+#: present only in records of lifecycle-enabled runs
+_CLASS_CONTINUITY = (
+    "interruptions",
+    "recovered_sessions",
+    "recovery_retries",
+    "sessions_lost",
+    "interrupted_completions",
+    "stall_seconds_sum",
+    "mean_recovery_latency_seconds",
+    "playback_continuity_index",
+)
 
 
 def _restore_metrics(data: dict) -> dict:
     """Re-int the class keys JSON stringified in a metrics payload."""
     restored = dict(data)
-    for name in _CLASS_COUNTERS + _CLASS_SCALARS + _CLASS_SERIES:
+    keyed = _CLASS_COUNTERS + _CLASS_SCALARS + _CLASS_SERIES + _CLASS_CONTINUITY
+    for name in keyed:
         if name in restored:
             restored[name] = {int(c): v for c, v in restored[name].items()}
     return restored
@@ -156,10 +169,40 @@ class RecordMetrics:
     def _class_map(self, name: str) -> dict[int, float]:
         return {int(c): v for c, v in self._data[name].items()}
 
+    def _classes(self) -> list[int]:
+        """The class labels of this record (the counters always carry them)."""
+        return [int(c) for c in self._data["admitted"]]
+
     def __getattr__(self, name: str):
         if name in _CLASS_COUNTERS:
             return self._class_map(name)
+        if name in _CLASS_CONTINUITY:
+            # records of lifecycle-free runs carry no continuity payload;
+            # mirror the live pipeline's zeros for unsubscribed probes
+            if name in self._data:
+                return self._class_map(name)
+            return {c: 0 for c in self._classes()}
         raise AttributeError(name)
+
+    # ---- continuity (lifecycle extension; mirrors the live pipeline) --
+    @property
+    def continuity_series(self) -> list[SeriesPoint]:
+        """Hourly mean playback continuity index (empty without the probe)."""
+        if "continuity_series" not in self._data:
+            return []
+        return self._series("continuity_series")
+
+    def mean_recovery_latency_seconds(self) -> dict[int, float]:
+        """Per-class mean interruption-to-re-admission latency."""
+        if "mean_recovery_latency_seconds" in self._data:
+            return self._class_map("mean_recovery_latency_seconds")
+        return {c: float("nan") for c in self._classes()}
+
+    def playback_continuity_index(self) -> dict[int, float]:
+        """Per-class mean playback continuity index (1.0 = stall-free)."""
+        if "playback_continuity_index" in self._data:
+            return self._class_map("playback_continuity_index")
+        return {c: float("nan") for c in self._classes()}
 
     def mean_rejections_before_admission(self) -> dict[int, float]:
         """Table 1: per-class mean rejections suffered before admission."""

@@ -1,4 +1,4 @@
-"""Ablation variants of DAC_p2p (DESIGN.md §5).
+"""Ablation variants of DAC_p2p (the ``benchmarks/bench_ablation_*`` suite).
 
 Each variant switches off or replaces exactly one mechanism of the paper's
 protocol, so benchmark comparisons attribute performance to that mechanism:

@@ -138,6 +138,76 @@ BUILTIN_SCENARIOS: tuple[Scenario, ...] = (
             ("horizon_seconds", 8 * 24 * HOUR),
         ),
     ),
+    # ---- dynamic-membership workloads (session-lifecycle models) --------
+    # Suppliers can die *mid-stream* here: departures are kernel-scheduled
+    # events, active sessions are interrupted, and requesters recover by
+    # re-probing and resuming from their buffer position (see
+    # repro.simulation.lifecycle).  The continuity probe is subscribed
+    # automatically for the default-probe scenarios.
+    Scenario(
+        name="flash_departure",
+        description="mid-premiere blackout: 30% of suppliers vanish "
+        "simultaneously at hour 36, mid-stream sessions must recover",
+        arrival_pattern=2,
+        lifecycle="flash",
+        config_overrides=(
+            ("lifecycle_flash_at_seconds", 36 * HOUR),
+            ("lifecycle_flash_fraction", 0.3),
+            ("lifecycle_mean_down_seconds", 1 * HOUR),
+        ),
+    ),
+    Scenario(
+        name="unstable_suppliers_100k",
+        description="metropolis-scale audience over trace-shaped supplier "
+        "sessions: heavy-tailed online periods, mid-stream recovery",
+        arrival_pattern=2,
+        seed_suppliers=((1, 200),),
+        requesting_peers=((1, 10000), (2, 10000), (3, 40000), (4, 40000)),
+        lifecycle="sessions",
+        config_overrides=(
+            ("lifecycle_mean_up_seconds", 6 * HOUR),
+            ("lifecycle_mean_down_seconds", 45 * 60.0),
+            ("lifecycle_sigma", 1.0),
+            ("kernel", "calendar"),
+            (
+                "probes",
+                (
+                    "capacity",
+                    "admission_rate",
+                    "overall_admission",
+                    "table1",
+                    "continuity",
+                ),
+            ),
+            ("track_messages", False),
+        ),
+    ),
+    Scenario(
+        name="diurnal_churn_week",
+        description="a week of evening waves where suppliers also sleep at "
+        "night: diurnal departures over the 8-day horizon",
+        arrival_pattern=4,
+        lifecycle="diurnal",
+        config_overrides=(
+            ("lifecycle_mean_up_seconds", 10 * HOUR),
+            ("lifecycle_mean_down_seconds", 45 * 60.0),
+            ("lifecycle_night_factor", 0.25),
+            ("kernel", "calendar"),
+            (
+                "probes",
+                (
+                    "capacity",
+                    "admission_rate",
+                    "overall_admission",
+                    "table1",
+                    "continuity",
+                ),
+            ),
+            ("track_messages", False),
+            ("arrival_window_seconds", 7 * 24 * HOUR),
+            ("horizon_seconds", 8 * 24 * HOUR),
+        ),
+    ),
 )
 
 for _scenario in BUILTIN_SCENARIOS:

@@ -59,6 +59,10 @@ class Scenario:
     supplier_mean_offline_seconds: float = 4 * HOUR
     #: whether departed suppliers ever rejoin
     suppliers_rejoin: bool = True
+    #: session-lifecycle model scheduling mid-stream departures ("none",
+    #: "onoff", "sessions", "diurnal", "flash"); model parameters ride in
+    #: :attr:`config_overrides`
+    lifecycle: str = "none"
     #: any further :class:`SimulationConfig` fields, as (field, value) pairs
     config_overrides: tuple[tuple[str, object], ...] = field(default=())
 
@@ -87,6 +91,7 @@ class Scenario:
             supplier_mean_online_seconds=self.supplier_mean_online_seconds,
             supplier_mean_offline_seconds=self.supplier_mean_offline_seconds,
             suppliers_rejoin=self.suppliers_rejoin,
+            lifecycle=self.lifecycle,
             **dict(self.config_overrides),
         )
         if scale != 1.0:

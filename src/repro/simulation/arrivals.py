@@ -10,7 +10,8 @@ streaming requests, all contained in the first 72 hours of the run:
 * **Pattern 4** — periodic bursts with a low constant floor between them.
 
 The exact constants lived in the authors' technical report [13], which is
-not available; DESIGN.md §2 records the reconstruction implemented here.
+not available; the densities below are this reproduction's reconstruction
+(shape and relative magnitudes from the paper's prose and figures).
 Each pattern is expressed as a *normalized rate density* over the arrival
 window (integrating to 1), from which we generate the ``n`` arrival times
 either

@@ -16,6 +16,7 @@ the benchmark suite:
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass
 from typing import Protocol
@@ -86,15 +87,27 @@ class OnOffChurn:
 
     def is_down(self, peer_id: int, now: float, rng: random.Random) -> bool:
         """Whether ``peer_id``'s on/off timeline has it down at ``now``."""
+        down, _boundary = self.next_transition(peer_id, now)
+        return down
+
+    def next_transition(self, peer_id: int, now: float) -> tuple[bool, float]:
+        """State at ``now`` plus the time of the next up/down flip.
+
+        Returns ``(is_down_now, boundary)`` where ``boundary > now`` is
+        the end of the interval containing ``now``.  This is what lets
+        :class:`~repro.simulation.lifecycle.OnOffLifecycle` turn the same
+        timeline that :meth:`is_down` samples at probe time into
+        kernel-scheduled departure/return events.  Extending the timeline
+        consumes exactly the draws :meth:`is_down` would, so mixing the
+        two access patterns never perturbs a peer's timeline.
+        """
         peer_rng, boundaries, starts_up = self._timeline(peer_id)
         while boundaries[-1] <= now:
             intervals_so_far = len(boundaries) - 1
             currently_up = starts_up if intervals_so_far % 2 == 0 else not starts_up
             mean = self.mean_up if currently_up else self.mean_down
             boundaries.append(boundaries[-1] + peer_rng.expovariate(1.0 / mean))
-        # number of completed intervals before ``now``
-        import bisect
-
+        # index of the interval containing ``now`` (its boundary is next)
         index = bisect.bisect_right(boundaries, now) - 1
         up_now = starts_up if index % 2 == 0 else not starts_up
-        return not up_now
+        return not up_now, boundaries[index + 1]

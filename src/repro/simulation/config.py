@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.core.model import ClassLadder
 from repro.errors import ConfigurationError
 from repro.simulation.kernel import KERNEL_NAMES
+from repro.simulation.lifecycle import LIFECYCLE_NAMES, RECOVERY_MODES
 from repro.simulation.probes import validate_probes
 from repro.streaming.media import MediaFile
 
@@ -91,6 +92,28 @@ class SimulationConfig:
     #: whether departed suppliers ever rejoin
     suppliers_rejoin: bool = True
 
+    # ----- session lifecycle (extension; "none" = the paper's model) ------
+    #: lifecycle model scheduling mid-stream supplier departures as kernel
+    #: events ("none", "onoff", "sessions", "diurnal", "flash"); see
+    #: :mod:`repro.simulation.lifecycle`
+    lifecycle: str = "none"
+    #: mean (onoff/diurnal) or median (sessions) online period
+    lifecycle_mean_up_seconds: float = 8 * HOUR
+    #: mean downtime before a departed supplier returns
+    lifecycle_mean_down_seconds: float = 30 * MINUTE
+    #: log-normal shape of the "sessions" model's online periods
+    lifecycle_sigma: float = 1.0
+    #: night-time shrink factor of the "diurnal" model's mean online period
+    lifecycle_night_factor: float = 0.25
+    #: when the "flash" model's mass departure strikes
+    lifecycle_flash_at_seconds: float = 36 * HOUR
+    #: fraction of suppliers the "flash" model takes down
+    lifecycle_flash_fraction: float = 0.3
+    #: whether departed suppliers ever return
+    lifecycle_rejoin: bool = True
+    #: what an interrupted requester does ("resume", "restart", "abandon")
+    lifecycle_recovery: str = "resume"
+
     # ----- measurement ----------------------------------------------------
     capacity_sample_seconds: float = 1 * HOUR
     rate_sample_seconds: float = 1 * HOUR
@@ -144,6 +167,49 @@ class SimulationConfig:
             raise ConfigurationError("supplier mean online time must be > 0")
         if self.supplier_mean_offline_seconds <= 0:
             raise ConfigurationError("supplier mean offline time must be > 0")
+        if self.lifecycle not in LIFECYCLE_NAMES:
+            raise ConfigurationError(
+                f"unknown lifecycle model {self.lifecycle!r}; "
+                f"known: {', '.join(LIFECYCLE_NAMES)}"
+            )
+        if self.lifecycle_recovery not in RECOVERY_MODES:
+            raise ConfigurationError(
+                f"unknown lifecycle recovery mode {self.lifecycle_recovery!r}; "
+                f"known: {', '.join(RECOVERY_MODES)}"
+            )
+        if self.lifecycle != "none":
+            if self.supplier_mean_online_seconds is not None:
+                raise ConfigurationError(
+                    "lifecycle models and graceful supplier churn "
+                    "(supplier_mean_online_seconds) are mutually exclusive; "
+                    "pick one departure mechanism"
+                )
+            if (
+                self.lifecycle_mean_up_seconds <= 0
+                or self.lifecycle_mean_down_seconds <= 0
+            ):
+                raise ConfigurationError(
+                    "lifecycle mean up/down durations must be > 0"
+                )
+            if self.lifecycle_sigma < 0:
+                raise ConfigurationError(
+                    f"lifecycle_sigma must be >= 0, got {self.lifecycle_sigma}"
+                )
+            if not 0.0 < self.lifecycle_night_factor <= 1.0:
+                raise ConfigurationError(
+                    "lifecycle_night_factor must be in (0, 1], got "
+                    f"{self.lifecycle_night_factor}"
+                )
+            if self.lifecycle_flash_at_seconds < 0:
+                raise ConfigurationError(
+                    "lifecycle_flash_at_seconds must be >= 0, got "
+                    f"{self.lifecycle_flash_at_seconds}"
+                )
+            if not 0.0 <= self.lifecycle_flash_fraction <= 1.0:
+                raise ConfigurationError(
+                    "lifecycle_flash_fraction must be in [0, 1], got "
+                    f"{self.lifecycle_flash_fraction}"
+                )
         if self.kernel not in KERNEL_NAMES:
             raise ConfigurationError(
                 f"unknown event kernel {self.kernel!r}; "
@@ -203,6 +269,11 @@ class SimulationConfig:
 
     def describe(self) -> str:
         """One-paragraph human-readable summary of the run."""
+        lifecycle = (
+            f"lifecycle={self.lifecycle}/{self.lifecycle_recovery}, "
+            if self.lifecycle != "none"
+            else ""
+        )
         return (
             f"{self.protocol} | {self.total_peers} peers "
             f"({sum(self.seed_suppliers.values())} seeds + {self.total_requesting} requesters), "
@@ -210,5 +281,5 @@ class SimulationConfig:
             f"T_out={self.t_out_seconds / MINUTE:.0f}min, "
             f"T_bkf={self.t_bkf_seconds / MINUTE:.0f}min, E_bkf={self.e_bkf:g}, "
             f"horizon {self.horizon_seconds / HOUR:.0f}h, lookup={self.lookup}, "
-            f"seed={self.master_seed}"
+            f"{lifecycle}seed={self.master_seed}"
         )

@@ -155,6 +155,7 @@ class HeapKernel:
         self._dead = 0
 
     def pop_due(self, until: float | None) -> Entry | None:
+        """Earliest live entry at or before ``until`` (``None`` if none)."""
         queue = self._queue
         while queue:
             entry = queue[0]
@@ -242,6 +243,7 @@ class CalendarKernel:
         self._dead = 0
 
     def pop_due(self, until: float | None) -> Entry | None:
+        """Earliest live entry at or before ``until`` (``None`` if none)."""
         order = self._order
         buckets = self._buckets
         while order:

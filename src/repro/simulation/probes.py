@@ -21,6 +21,9 @@ Figure 7                ``favored``     ``favored_series[supplier class]``
 Figure 9                ``overall_admission`` ``overall_admission_rate_series``
 Table 1                 ``table1``      ``mean_rejections_before_admission``
 (waiting time)          ``waiting``     ``mean_waiting_seconds[class]``
+(lifecycle extension)   ``continuity``  interruption/stall counters,
+                                        recovery latency, playback
+                                        continuity index
 =====================  ==============  ====================================
 
 The cheap cumulative event counters (requests, rejections, admissions,
@@ -55,6 +58,7 @@ __all__ = [
     "OverallAdmissionProbe",
     "Table1Probe",
     "WaitingTimeProbe",
+    "ContinuityProbe",
     "MetricsPipeline",
     "PROBE_NAMES",
     "DEFAULT_PROBES",
@@ -98,6 +102,31 @@ class Probe:
         waiting_seconds: float,
     ) -> None:
         """A peer was admitted."""
+
+    # ---- optional lifecycle hooks (fire only when a lifecycle model
+    # ---- interrupts sessions; see repro.simulation.lifecycle) ---------
+    def on_interruption(self, peer_class: int) -> None:
+        """A class-``peer_class`` requester's session was interrupted."""
+
+    def on_recovery(
+        self, peer_class: int, latency_seconds: float, stall_seconds: float
+    ) -> None:
+        """An interrupted session was re-admitted and resumed."""
+
+    def on_recovery_retry(self, peer_class: int) -> None:
+        """A recovery probe failed; the requester backs off and retries."""
+
+    def on_session_lost(self, peer_class: int) -> None:
+        """An interrupted session was permanently lost."""
+
+    def on_session_complete(
+        self,
+        peer_class: int,
+        stall_seconds: float,
+        interruptions: int,
+        continuity: float,
+    ) -> None:
+        """A (lifecycle-tracked) session delivered its final byte."""
 
     # ---- optional sampler hooks (drive which clocks get scheduled) ----
     def sample_capacity(self, now_seconds: float, ledger: "CapacityLedger") -> None:
@@ -372,6 +401,122 @@ class WaitingTimeProbe(Probe):
         }
 
 
+class ContinuityProbe(Probe):
+    """Playback continuity under session-lifecycle dynamics.
+
+    Everything a mid-stream supplier departure costs the requester, per
+    requester class:
+
+    * ``interruptions`` — stalls begun (one per mid-stream departure that
+      hit one of the requester's suppliers);
+    * ``recovered_sessions`` / ``recovery_retries`` / ``sessions_lost`` —
+      how the recovery path fared;
+    * ``stall_seconds_sum`` — total playback stall time of *recovered*
+      stalls (recovery latency plus the re-buffering delay of the resumed
+      session); lost sessions count in ``sessions_lost`` instead;
+    * ``recovery_latency_sum`` — seconds from interruption to
+      re-admission, over recovered stalls;
+    * the **playback continuity index** — per completed session,
+      ``playback / (playback + stalls)`` where ``playback`` is the show
+      length; 1.0 is stall-free, accumulated here as a per-class mean.
+
+    All counters stay zero when no lifecycle model is active (the probe
+    is then pure overhead-free bookkeeping), so it is *not* part of
+    :data:`DEFAULT_PROBES`; lifecycle-enabled runs subscribe it
+    automatically, and any run can opt in via ``probes=``.
+    """
+
+    name = "continuity"
+
+    def bind(self, pipeline: "MetricsPipeline") -> None:
+        super().bind(pipeline)
+        classes = list(self.ladder.classes)
+        self.interruptions: dict[int, int] = {c: 0 for c in classes}
+        self.recovered_sessions: dict[int, int] = {c: 0 for c in classes}
+        self.recovery_retries: dict[int, int] = {c: 0 for c in classes}
+        self.sessions_lost: dict[int, int] = {c: 0 for c in classes}
+        self.stall_seconds_sum: dict[int, float] = {c: 0.0 for c in classes}
+        self.recovery_latency_sum: dict[int, float] = {c: 0.0 for c in classes}
+        self.completed_sessions: dict[int, int] = {c: 0 for c in classes}
+        self.interrupted_completions: dict[int, int] = {c: 0 for c in classes}
+        self.continuity_sum: dict[int, float] = {c: 0.0 for c in classes}
+        self.continuity_series: list[SeriesPoint] = []
+
+    # ---- lifecycle hooks ---------------------------------------------
+    def on_interruption(self, peer_class: int) -> None:
+        self.interruptions[peer_class] += 1
+
+    def on_recovery(
+        self, peer_class: int, latency_seconds: float, stall_seconds: float
+    ) -> None:
+        self.recovered_sessions[peer_class] += 1
+        self.recovery_latency_sum[peer_class] += latency_seconds
+        self.stall_seconds_sum[peer_class] += stall_seconds
+
+    def on_recovery_retry(self, peer_class: int) -> None:
+        self.recovery_retries[peer_class] += 1
+
+    def on_session_lost(self, peer_class: int) -> None:
+        self.sessions_lost[peer_class] += 1
+
+    def on_session_complete(
+        self,
+        peer_class: int,
+        stall_seconds: float,
+        interruptions: int,
+        continuity: float,
+    ) -> None:
+        self.completed_sessions[peer_class] += 1
+        self.continuity_sum[peer_class] += continuity
+        if interruptions:
+            self.interrupted_completions[peer_class] += 1
+
+    # ---- sampling ----------------------------------------------------
+    def sample_rates(self, now_seconds: float) -> None:
+        completed = sum(self.completed_sessions.values())
+        if completed > 0:
+            mean = sum(self.continuity_sum.values()) / completed
+            self.continuity_series.append(SeriesPoint(now_seconds / HOUR, mean))
+
+    # ---- derived -----------------------------------------------------
+    def mean_recovery_latency_seconds(self) -> dict[int, float]:
+        """Per-class mean seconds from interruption to re-admission."""
+        return {
+            c: (
+                self.recovery_latency_sum[c] / self.recovered_sessions[c]
+                if self.recovered_sessions[c]
+                else float("nan")
+            )
+            for c in self.ladder.classes
+        }
+
+    def playback_continuity_index(self) -> dict[int, float]:
+        """Per-class mean continuity index over completed sessions."""
+        return {
+            c: (
+                self.continuity_sum[c] / self.completed_sessions[c]
+                if self.completed_sessions[c]
+                else float("nan")
+            )
+            for c in self.ladder.classes
+        }
+
+    def export(self) -> dict:
+        return {
+            "interruptions": dict(self.interruptions),
+            "recovered_sessions": dict(self.recovered_sessions),
+            "recovery_retries": dict(self.recovery_retries),
+            "sessions_lost": dict(self.sessions_lost),
+            "interrupted_completions": dict(self.interrupted_completions),
+            "stall_seconds_sum": dict(self.stall_seconds_sum),
+            "mean_recovery_latency_seconds": self.mean_recovery_latency_seconds(),
+            "playback_continuity_index": self.playback_continuity_index(),
+            "continuity_series": [
+                (p.hour, p.value) for p in self.continuity_series
+            ],
+        }
+
+
 #: probe registry, by config name
 _PROBES: dict[str, type[Probe]] = {
     probe.name: probe
@@ -383,13 +528,19 @@ _PROBES: dict[str, type[Probe]] = {
         OverallAdmissionProbe,
         Table1Probe,
         WaitingTimeProbe,
+        ContinuityProbe,
     )
 }
 
 #: valid values inside ``SimulationConfig.probes``
 PROBE_NAMES: tuple[str, ...] = tuple(sorted(_PROBES))
 
-#: the full paper evaluation — what ``probes=None`` subscribes
+#: the full paper evaluation — what ``probes=None`` subscribes.  The
+#: lifecycle-extension ``continuity`` probe is deliberately absent: its
+#: artifacts exist only under a lifecycle model, and keeping it out keeps
+#: default exports schema-identical to the historical collector.  Runs
+#: with ``lifecycle != "none"`` and ``probes=None`` subscribe it
+#: automatically (see :class:`~repro.simulation.system.StreamingSystem`).
 DEFAULT_PROBES: tuple[str, ...] = (
     "capacity",
     "admission_rate",
@@ -472,6 +623,11 @@ class MetricsPipeline:
             ]
 
         self._admission_hooks = overriding("on_admission")
+        self._interruption_hooks = overriding("on_interruption")
+        self._recovery_hooks = overriding("on_recovery")
+        self._recovery_retry_hooks = overriding("on_recovery_retry")
+        self._session_lost_hooks = overriding("on_session_lost")
+        self._session_complete_hooks = overriding("on_session_complete")
         self._capacity_hooks = overriding("sample_capacity")
         self._rate_hooks = overriding("sample_rates")
         self._favored_hooks = overriding("sample_favored")
@@ -540,6 +696,42 @@ class MetricsPipeline:
                 buffering_delay_slots,
                 waiting_seconds,
             )
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks (fire only under a session-lifecycle model)
+    # ------------------------------------------------------------------
+    def on_interruption(self, peer_class: int) -> None:
+        """A requester's session was interrupted by a supplier departure."""
+        for hook in self._interruption_hooks:
+            hook(peer_class)
+
+    def on_recovery(
+        self, peer_class: int, latency_seconds: float, stall_seconds: float
+    ) -> None:
+        """An interrupted session was re-admitted and resumed."""
+        for hook in self._recovery_hooks:
+            hook(peer_class, latency_seconds, stall_seconds)
+
+    def on_recovery_retry(self, peer_class: int) -> None:
+        """A recovery probe failed; the requester backs off and retries."""
+        for hook in self._recovery_retry_hooks:
+            hook(peer_class)
+
+    def on_session_lost(self, peer_class: int) -> None:
+        """An interrupted session was permanently lost."""
+        for hook in self._session_lost_hooks:
+            hook(peer_class)
+
+    def on_session_complete(
+        self,
+        peer_class: int,
+        stall_seconds: float,
+        interruptions: int,
+        continuity: float,
+    ) -> None:
+        """A lifecycle-tracked session delivered its final byte."""
+        for hook in self._session_complete_hooks:
+            hook(peer_class, stall_seconds, interruptions, continuity)
 
     # ------------------------------------------------------------------
     # periodic samplers (driven by the streaming system)
@@ -650,6 +842,47 @@ class MetricsPipeline:
             lambda: {c: 0.0 for c in self.ladder.classes},
         )
 
+    @property
+    def interruptions(self) -> dict[int, int]:
+        """Stalls begun by mid-stream departures (continuity probe)."""
+        return self._probe_attr(
+            "continuity",
+            "interruptions",
+            lambda: {c: 0 for c in self.ladder.classes},
+        )
+
+    @property
+    def recovered_sessions(self) -> dict[int, int]:
+        """Interrupted sessions re-admitted and resumed (continuity probe)."""
+        return self._probe_attr(
+            "continuity",
+            "recovered_sessions",
+            lambda: {c: 0 for c in self.ladder.classes},
+        )
+
+    @property
+    def sessions_lost(self) -> dict[int, int]:
+        """Interrupted sessions lost for good (continuity probe)."""
+        return self._probe_attr(
+            "continuity",
+            "sessions_lost",
+            lambda: {c: 0 for c in self.ladder.classes},
+        )
+
+    @property
+    def stall_seconds_sum(self) -> dict[int, float]:
+        """Total stall time of recovered stalls (continuity probe)."""
+        return self._probe_attr(
+            "continuity",
+            "stall_seconds_sum",
+            lambda: {c: 0.0 for c in self.ladder.classes},
+        )
+
+    @property
+    def continuity_series(self) -> list[SeriesPoint]:
+        """Hourly mean playback continuity index (continuity probe)."""
+        return self._probe_attr("continuity", "continuity_series", list)
+
     # ------------------------------------------------------------------
     # derived results
     # ------------------------------------------------------------------
@@ -670,6 +903,16 @@ class MetricsPipeline:
         """Per-class mean waiting time from first request to admission."""
         probe = self.probes.get("waiting")
         return probe.mean_waiting_seconds() if probe else self._nan_map()
+
+    def mean_recovery_latency_seconds(self) -> dict[int, float]:
+        """Per-class mean interruption-to-re-admission latency."""
+        probe = self.probes.get("continuity")
+        return probe.mean_recovery_latency_seconds() if probe else self._nan_map()
+
+    def playback_continuity_index(self) -> dict[int, float]:
+        """Per-class mean playback continuity index (1.0 = stall-free)."""
+        probe = self.probes.get("continuity")
+        return probe.playback_continuity_index() if probe else self._nan_map()
 
     def admission_rate_percent(self) -> dict[int, float]:
         """Final per-class cumulative admission rate (Figure 5 endpoint).
@@ -694,9 +937,13 @@ class MetricsPipeline:
     def to_dict(self) -> dict:
         """JSON-friendly dump of every counter and series.
 
-        The key set is identical under every probe subscription — records
-        stay schema-total — but unsubscribed probes contribute empty
-        series and NaN means.
+        The paper-evaluation key set is identical under every probe
+        subscription — records stay schema-total over those artifacts,
+        with unsubscribed probes contributing empty series and NaN
+        means.  The one exception is the opt-in lifecycle ``continuity``
+        probe: its keys (``interruptions``, ``continuity_series``, ...)
+        appear only when it is subscribed, so lifecycle-free exports
+        remain byte-compatible with the historical collector's.
         """
         payload: dict = {
             "first_requests": dict(self.first_requests),

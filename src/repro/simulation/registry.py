@@ -58,6 +58,10 @@ class SupplierRegistry:
         self.suppliers_by_class: dict[int, list[SimPeer]] = {
             c: [] for c in self.ladder.classes
         }
+        #: session-lifecycle dynamics notified on every population entry;
+        #: attached by the system only when a lifecycle model is active
+        #: (see :mod:`repro.simulation.lifecycle`)
+        self.lifecycle = None
         # arm_idle_timer runs after every session end and every effective
         # elevation — resolve its per-call constants once
         self._uses_idle_elevation = policy.uses_idle_elevation
@@ -80,6 +84,8 @@ class SupplierRegistry:
         )
         self.arm_idle_timer(peer)
         self._schedule_departure(peer)
+        if self.lifecycle is not None:
+            self.lifecycle.on_supplier_active(peer)
         if self.trace:
             self.trace.record(
                 "supplier_joined",

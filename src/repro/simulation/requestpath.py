@@ -10,7 +10,14 @@ with the system, end to end:
 * rejection → reminder placement at busy favoring candidates → exponential
   backoff and retry;
 * post-session promotion of the requester into the supplier population
-  (handed to the :class:`~repro.simulation.registry.SupplierRegistry`).
+  (handed to the :class:`~repro.simulation.registry.SupplierRegistry`);
+* under a session-lifecycle model (:mod:`repro.simulation.lifecycle`),
+  mid-stream interruption and recovery: sessions are tracked as
+  :class:`~repro.streaming.session.ActiveSession` objects keyed by
+  supplier, a supplier departure interrupts every session it serves, and
+  the requester re-probes, honoring the paper's exponential backoff,
+  until it can resume from its buffer position (or restarts/abandons,
+  per ``lifecycle_recovery``).
 
 One of the three collaborators behind the
 :class:`~repro.simulation.system.StreamingSystem` facade.
@@ -37,7 +44,7 @@ from repro.simulation.metrics import MetricsCollector
 from repro.simulation.randoms import RandomStreams
 from repro.simulation.registry import SupplierRegistry
 from repro.simulation.trace import TraceRecorder
-from repro.streaming.session import plan_session
+from repro.streaming.session import ActiveSession, plan_session
 
 __all__ = ["RequestPath"]
 
@@ -101,6 +108,11 @@ class RequestPath:
         # values thousands of times per run.
         self._delay_slots_by_classes: dict[tuple[int, ...], int] = {}
         self._backoff_by_rejections: dict[int, float] = {}
+        # Session-lifecycle state.  When disabled (the default) admissions
+        # take the handle-free fast path and none of this is touched.
+        self._lifecycle_enabled = config.lifecycle != "none"
+        self._recovery = config.lifecycle_recovery
+        self._sessions_by_supplier: dict[int, list[ActiveSession]] = {}
 
     # ------------------------------------------------------------------
     # arrivals
@@ -241,9 +253,21 @@ class RequestPath:
             )
         # The transfer takes exactly the show time (aggregate supply rate
         # == R0; see StreamingSession.transfer_seconds).
-        self.sim.schedule_in(
-            self.media.show_seconds, self._on_session_end, (peer, enlisted)
-        )
+        if self._lifecycle_enabled:
+            session = ActiveSession(
+                requester=peer,
+                suppliers=list(enlisted),
+                resumed_at=self.sim.now,
+                remaining_seconds=self.media.show_seconds,
+            )
+            session.end_handle = self.sim.schedule_in(
+                self.media.show_seconds, self._on_tracked_session_end, session
+            )
+            self._track(session)
+        else:
+            self.sim.schedule_in(
+                self.media.show_seconds, self._on_session_end, (peer, enlisted)
+            )
 
     def _buffering_delay_slots(self, enlisted: list[SimPeer]) -> int:
         """OTS_p2p buffering delay for this supplier set, memoized.
@@ -325,3 +349,179 @@ class RequestPath:
                 self.transport.send("session_end", peer.peer_id, supplier.peer_id)
         peer.promote(self.policy.make_supplier_state(peer.peer_class, self.ladder))
         self.registry.register(peer)
+
+    # ------------------------------------------------------------------
+    # session lifecycle: interruption and recovery (lifecycle models only)
+    # ------------------------------------------------------------------
+    def _track(self, session: ActiveSession) -> None:
+        """Index the session under each supplier currently serving it."""
+        for supplier in session.suppliers:
+            self._sessions_by_supplier.setdefault(supplier.peer_id, []).append(
+                session
+            )
+
+    def _untrack(self, session: ActiveSession) -> None:
+        """Drop the session from every supplier's index entry."""
+        for supplier in session.suppliers:
+            sessions = self._sessions_by_supplier.get(supplier.peer_id)
+            if sessions is not None:
+                try:
+                    sessions.remove(session)
+                except ValueError:
+                    pass  # the departing supplier's entry was popped whole
+                if not sessions:
+                    del self._sessions_by_supplier[supplier.peer_id]
+
+    def _on_tracked_session_end(self, session: ActiveSession) -> None:
+        """A lifecycle-tracked session delivered its final byte."""
+        self._untrack(session)
+        peer = session.requester
+        for supplier in session.suppliers:
+            supplier.admission.on_session_end()
+            supplier.bump_idle_generation()
+            self.registry.arm_idle_timer(supplier)
+            if self.transport is not None:
+                self.transport.send("session_end", peer.peer_id, supplier.peer_id)
+        show = self.media.show_seconds
+        self.metrics.on_session_complete(
+            peer.peer_class,
+            session.stall_seconds,
+            session.interruptions,
+            show / (show + session.stall_seconds),
+        )
+        peer.promote(self.policy.make_supplier_state(peer.peer_class, self.ladder))
+        self.registry.register(peer)
+
+    def on_supplier_departed(self, departed: SimPeer) -> None:
+        """A supplier died mid-stream; interrupt every session it serves.
+
+        Called by :class:`~repro.simulation.lifecycle.LifecycleDynamics`
+        *after* the departure bookkeeping (ledger, lookup), so recovery
+        probes can no longer discover the departed supplier.
+        """
+        sessions = self._sessions_by_supplier.pop(departed.peer_id, None)
+        if not sessions:
+            return
+        for session in list(sessions):
+            self._interrupt(session, departed)
+
+    def _interrupt(self, session: ActiveSession, departed: SimPeer) -> None:
+        """Stop a session mid-stream and start the configured recovery."""
+        now = self.sim.now
+        self.sim.cancel(session.end_handle)
+        self._untrack(session)
+        elapsed = now - session.resumed_at
+        session.remaining_seconds = max(0.0, session.remaining_seconds - elapsed)
+        peer = session.requester
+        for supplier in session.suppliers:
+            # Free every enlisted supplier — including the departed one,
+            # whose busy flag must not survive into its next online period.
+            supplier.admission.on_session_end()
+            supplier.bump_idle_generation()
+            if supplier is not departed:
+                self.registry.arm_idle_timer(supplier)
+                if self.transport is not None:
+                    self.transport.send(
+                        "session_interrupt", peer.peer_id, supplier.peer_id
+                    )
+        session.interruptions += 1
+        session.interrupted_at = now
+        session.recovery_attempts = 0
+        self.metrics.on_interruption(peer.peer_class)
+        if self.trace:
+            self.trace.record(
+                "session_interrupted",
+                now,
+                peer=peer.peer_id,
+                peer_class=peer.peer_class,
+                departed=departed.peer_id,
+                remaining_seconds=session.remaining_seconds,
+            )
+        if self._recovery == "abandon":
+            self.metrics.on_session_lost(peer.peer_class)
+            return
+        if self._recovery == "restart":
+            session.remaining_seconds = self.media.show_seconds
+        # The recovery probe runs as its own event at the current time, so
+        # a mass departure interrupts every session first and the freed-up
+        # survivors are probed afterwards, in FIFO order.
+        self.sim.schedule_at(now, self._attempt_recovery, session)
+
+    def _attempt_recovery(self, session: ActiveSession) -> None:
+        """Re-probe for the interrupted requester; resume or back off.
+
+        Recovery probes reuse the admission probe loop (``M`` candidates,
+        high class first, grant tests) but leave no reminders — an
+        interrupted peer is mid-session, not queueing for a first slot.
+        Failures back off exponentially per the paper's
+        ``T_bkf``/``E_bkf``, counted from the interruption.
+        """
+        peer = session.requester
+        outcome = self._probe_candidates(peer)
+        enlisted: list[SimPeer] = []
+        deficit = self._full_rate_units
+        if outcome is not None:
+            enlisted, _contacted_busy, deficit = outcome
+        if deficit == 0:
+            self._resume(session, enlisted)
+            return
+        session.recovery_attempts += 1
+        self.metrics.on_recovery_retry(peer.peer_class)
+        delay = self._backoff_by_rejections.get(session.recovery_attempts)
+        if delay is None:
+            delay = backoff_delay(
+                session.recovery_attempts,
+                self.config.t_bkf_seconds,
+                self.config.e_bkf,
+            )
+            self._backoff_by_rejections[session.recovery_attempts] = delay
+        retry_at = self.sim.now + delay
+        if retry_at <= self.config.horizon_seconds:
+            self.sim.schedule_at(retry_at, self._attempt_recovery, session)
+        else:
+            self.metrics.on_session_lost(peer.peer_class)
+            if self.trace:
+                self.trace.record(
+                    "session_lost",
+                    self.sim.now,
+                    peer=peer.peer_id,
+                    peer_class=peer.peer_class,
+                    recovery_attempts=session.recovery_attempts,
+                )
+
+    def _resume(self, session: ActiveSession, enlisted: list[SimPeer]) -> None:
+        """Re-admit an interrupted session onto a fresh supplier set."""
+        now = self.sim.now
+        peer = session.requester
+        delay_slots = self._buffering_delay_slots(enlisted)
+        for supplier in enlisted:
+            supplier.admission.on_session_start()
+            supplier.bump_idle_generation()
+            supplier.sessions_served += 1
+            if self.transport is not None:
+                self.transport.send(
+                    "session_resume", peer.peer_id, supplier.peer_id
+                )
+        latency = now - session.interrupted_at
+        # The stall the viewer sees: waiting for re-admission plus the
+        # resumed session's buffering delay before playback restarts.
+        stall = latency + self.media.slots_to_seconds(delay_slots)
+        session.stall_seconds += stall
+        session.interrupted_at = None
+        session.suppliers = list(enlisted)
+        session.resumed_at = now
+        session.end_handle = self.sim.schedule_in(
+            session.remaining_seconds, self._on_tracked_session_end, session
+        )
+        self._track(session)
+        self.metrics.on_recovery(peer.peer_class, latency, stall)
+        if self.trace:
+            self.trace.record(
+                "session_resumed",
+                now,
+                peer=peer.peer_id,
+                peer_class=peer.peer_class,
+                suppliers=[s.peer_id for s in enlisted],
+                recovery_latency_seconds=latency,
+                remaining_seconds=session.remaining_seconds,
+            )

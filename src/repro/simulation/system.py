@@ -13,6 +13,13 @@ wires the three protocol subsystems together:
 * :class:`~repro.simulation.samplers.Samplers` — the periodic metric
   samplers behind Figures 4–9.
 
+A fourth, optional subsystem —
+:class:`~repro.simulation.lifecycle.LifecycleDynamics` — schedules
+mid-stream supplier departures and returns when the configuration selects
+a lifecycle model (``config.lifecycle != "none"``); with the default
+``none`` model it is never constructed and runs are bit-identical to a
+build without it.
+
 The system is deterministic for a fixed config: RNG streams are named and
 seeded, candidate ordering is stable, and the event queue breaks ties FIFO.
 The wiring order below (population → lookup → seed registration →
@@ -30,7 +37,9 @@ from repro.simulation.churn import BernoulliChurn, NoChurn
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import Simulator
 from repro.simulation.entities import SimPeer, build_population
+from repro.simulation.lifecycle import LifecycleDynamics, make_lifecycle
 from repro.simulation.metrics import MetricsCollector
+from repro.simulation.probes import DEFAULT_PROBES
 from repro.simulation.randoms import RandomStreams
 from repro.simulation.registry import SupplierRegistry
 from repro.simulation.requestpath import RequestPath
@@ -52,7 +61,12 @@ class StreamingSystem:
         self.policy = make_policy(config.protocol)
         self.sim = Simulator(kernel=config.kernel)
         self.streams = RandomStreams(config.master_seed)
-        self.metrics = MetricsCollector(self.ladder, probes=config.probes)
+        # Lifecycle runs with the default subscription also get the
+        # continuity probe — its artifacts are what the extension measures.
+        probes = config.probes
+        if config.lifecycle != "none" and probes is None:
+            probes = DEFAULT_PROBES + ("continuity",)
+        self.metrics = MetricsCollector(self.ladder, probes=probes)
         self.ledger = CapacityLedger(self.ladder)
         self.trace = trace
 
@@ -101,6 +115,22 @@ class StreamingSystem:
             ledger=self.ledger,
             registry=self.registry,
         )
+        # The lifecycle dynamics attach to the registry *before* the seed
+        # suppliers register below, so seeds get departure events too.
+        self.lifecycle: LifecycleDynamics | None = None
+        if config.lifecycle != "none":
+            self.lifecycle = LifecycleDynamics(
+                sim=self.sim,
+                config=config,
+                model=make_lifecycle(config),
+                metrics=self.metrics,
+                ledger=self.ledger,
+                lookup=self.lookup,
+                registry=self.registry,
+                request_path=self.request_path,
+                trace=trace,
+            )
+            self.registry.lifecycle = self.lifecycle
 
         for peer in self.peers:
             if peer.is_seed:

@@ -27,8 +27,23 @@ class TestRegistry:
             "asymmetric_classes",
             "underreporting",
             "chord_overlay",
+            "flash_departure",
+            "unstable_suppliers_100k",
+            "diurnal_churn_week",
         ):
             assert expected in names
+
+    def test_lifecycle_scenarios_select_their_models(self):
+        assert get_scenario("flash_departure").lifecycle == "flash"
+        assert get_scenario("unstable_suppliers_100k").lifecycle == "sessions"
+        assert get_scenario("diurnal_churn_week").lifecycle == "diurnal"
+        config = get_scenario("flash_departure").build_config(scale=0.02)
+        assert config.lifecycle == "flash"
+        assert config.lifecycle_recovery == "resume"
+        # the 100k lifecycle scenario rides the fast path with continuity
+        config = get_scenario("unstable_suppliers_100k").build_config(scale=0.01)
+        assert config.kernel == "calendar"
+        assert "continuity" in config.probes
 
     def test_unknown_name_lists_alternatives(self):
         with pytest.raises(ConfigurationError, match="paper_default"):

@@ -71,3 +71,64 @@ class TestOnOffChurn:
             OnOffChurn(0.0, 10.0)
         with pytest.raises(ConfigurationError):
             OnOffChurn(10.0, -1.0)
+
+
+class TestOnOffChurnTimelineEdges:
+    """Edge cases of the lazily extended per-peer timeline."""
+
+    def test_down_at_time_zero(self):
+        """Peers drawn down by the stationary coin are down from t=0."""
+        model = OnOffChurn(mean_up_seconds=100.0, mean_down_seconds=300.0, seed=8)
+        rng = random.Random(1)
+        down_at_zero = [p for p in range(100) if model.is_down(p, 0.0, rng)]
+        # stationary down fraction is 300/400 = 0.75; some peer starts down
+        assert down_at_zero
+        peer = down_at_zero[0]
+        down, boundary = model.next_transition(peer, 0.0)
+        assert down
+        assert boundary > 0.0
+        # ... and the peer is still down just before that first boundary
+        assert model.is_down(peer, boundary - 1e-9, rng)
+
+    def test_lazy_extension_across_a_very_long_horizon(self):
+        """A far-future query extends one peer's timeline, and only its own."""
+        model = OnOffChurn(mean_up_seconds=50.0, mean_down_seconds=50.0, seed=8)
+        rng = random.Random(1)
+        far = 1e7  # ~100k mean intervals past t=0
+        state = model.is_down(3, far, rng)
+        assert isinstance(state, bool)
+        boundaries = model._timelines[3][1]
+        # the timeline now covers the query point with finite, ordered steps
+        assert boundaries[-1] > far
+        assert all(a < b for a, b in zip(boundaries, boundaries[1:]))
+        # only the queried peer paid for the extension
+        assert set(model._timelines) == {3}
+        # a later nearby query reuses the extended timeline verbatim
+        length_before = len(boundaries)
+        model.is_down(3, far - 1000.0, rng)
+        assert len(model._timelines[3][1]) == length_before
+
+    def test_queries_are_monotone_safe_in_any_order(self):
+        """Asking about the past after the future answers consistently."""
+        forward = OnOffChurn(50.0, 50.0, seed=12)
+        backward = OnOffChurn(50.0, 50.0, seed=12)
+        rng = random.Random(1)
+        times = [0.0, 123.0, 5000.0, 40.0, 99999.0, 1.0]
+        answers_forward = [forward.is_down(5, t, rng) for t in times]
+        answers_backward = [backward.is_down(5, t, rng) for t in reversed(times)]
+        assert answers_forward == list(reversed(answers_backward))
+
+    def test_next_transition_and_is_down_share_one_timeline(self):
+        """Mixing the two access patterns never perturbs the draws."""
+        sampled = OnOffChurn(100.0, 100.0, seed=4)
+        mixed = OnOffChurn(100.0, 100.0, seed=4)
+        rng = random.Random(1)
+        times = [float(t) for t in range(0, 2000, 37)]
+        expected = [sampled.is_down(2, t, rng) for t in times]
+        observed = []
+        for t in times:
+            down, boundary = mixed.next_transition(2, t)
+            assert boundary > t
+            observed.append(mixed.is_down(2, t, rng))
+            assert observed[-1] == down
+        assert observed == expected

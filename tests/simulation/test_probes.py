@@ -20,9 +20,11 @@ from repro.simulation.system import StreamingSystem
 
 
 class TestSubscriptions:
-    def test_default_subscribes_every_probe(self, ladder):
+    def test_default_subscribes_the_paper_evaluation(self, ladder):
         pipeline = MetricsPipeline(ladder)
-        assert set(pipeline.probes) == set(DEFAULT_PROBES) == set(PROBE_NAMES)
+        assert set(pipeline.probes) == set(DEFAULT_PROBES)
+        # the lifecycle-extension continuity probe is opt-in, not default
+        assert set(PROBE_NAMES) == set(DEFAULT_PROBES) | {"continuity"}
 
     def test_subset_subscription(self, ladder):
         pipeline = MetricsPipeline(ladder, probes=("capacity",))

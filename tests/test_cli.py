@@ -171,6 +171,70 @@ class TestPerfAndProfiling:
             build_parser().parse_args(["run", "--probes", "nonexistent"])
 
 
+class TestProbesParsing:
+    """``--probes`` accepts space- and comma-separated name lists."""
+
+    def test_comma_separated_probes_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--probes", "capacity,table1"]
+        )
+        assert args.probes == [["capacity", "table1"]]
+
+    def test_mixed_space_and_comma_tokens_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--probes", "capacity", "table1,waiting"]
+        )
+        assert args.probes == [["capacity"], ["table1", "waiting"]]
+
+    def test_comma_separated_probes_reach_the_config(self, capsys):
+        assert main([
+            "run", "--scale", "0.004", "--probes", "capacity,table1",
+        ]) == 0
+        assert "capacity" in capsys.readouterr().out
+
+    def test_unknown_probe_in_comma_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--probes", "capacity,nonexistent"]
+            )
+
+    def test_empty_comma_token_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--probes", ","])
+
+
+class TestLifecycleFlags:
+    def test_lifecycle_flag_selects_the_model(self, capsys):
+        assert main([
+            "run", "--scale", "0.004", "--lifecycle", "flash",
+        ]) == 0
+        assert "lifecycle=flash/resume" in capsys.readouterr().out
+
+    def test_recovery_flag_selects_the_mode(self, capsys):
+        assert main([
+            "run", "--scale", "0.004", "--lifecycle", "onoff",
+            "--recovery", "restart",
+        ]) == 0
+        assert "lifecycle=onoff/restart" in capsys.readouterr().out
+
+    def test_lifecycle_scenario_runs(self, capsys):
+        assert main([
+            "run", "--scenario", "flash_departure", "--scale", "0.02",
+        ]) == 0
+        assert "lifecycle=flash/resume" in capsys.readouterr().out
+
+    def test_unknown_lifecycle_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--lifecycle", "meteor"])
+
+    def test_lifecycle_is_sweepable(self, capsys):
+        assert main([
+            "study", "--scale", "0.004", "--scenario", "flash_departure",
+            "--sweep", "lifecycle_flash_fraction", "0.1", "0.5",
+        ]) == 0
+        assert "study: 2 runs" in capsys.readouterr().out
+
+
 class TestStudyCommand:
     def test_study_grid_with_aggregates(self, capsys):
         code = main(

@@ -14,6 +14,15 @@ import pytest
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 
 
+def test_every_example_has_a_smoke_test():
+    """Adding an example without wiring a test here is a failure, not drift."""
+    source = Path(__file__).read_text(encoding="utf-8")
+    for script in sorted(EXAMPLES_DIR.glob("*.py")):
+        assert script.name in source, (
+            f"examples/{script.name} is not exercised by tests/test_examples.py"
+        )
+
+
 def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
     return subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name), *args],
@@ -72,6 +81,12 @@ class TestExamplesRun:
         result = run_example("fluid_vs_simulation.py", "--scale", "0.01")
         assert result.returncode == 0, result.stderr
         assert "fluid envelope" in result.stdout
+
+    def test_lifecycle_recovery(self):
+        result = run_example("lifecycle_recovery.py", "--scale", "0.02")
+        assert result.returncode == 0, result.stderr
+        assert "mid-stream blackout" in result.stdout.lower()
+        assert "resume" in result.stdout
 
     def test_study_grid(self, tmp_path):
         out_dir = tmp_path / "study_out"
