@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Calendar-kernel bucket width: fixed widths vs. the auto heuristic.
+
+The calendar queue's one tuning knob is its bucket width.  This
+benchmark drives the :class:`~repro.simulation.engine.Simulator` with a
+deterministic workload shaped like the simulation's event mix —
+prescheduled arrivals spread over a multi-day window, each spawning the
+near-future timer churn (idle-elevation ``T_out``, backoff retries,
+session ends) that dominates the hot loop — and measures drain
+throughput under:
+
+* the heap kernel (the width-free baseline);
+* the calendar kernel at a range of fixed widths;
+* the auto-calibrating calendar kernel (``calendar-auto``), which also
+  reports the width it learned from the staged workload.
+
+All kernels dispatch the identical event sequence (the determinism
+contract), so wall time is the only thing that varies.
+
+Usage::
+
+    python benchmarks/bench_calendar_width.py            # ~200k arrivals
+    python benchmarks/bench_calendar_width.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+from time import perf_counter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script-style invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.simulation.engine import Simulator  # noqa: E402
+from repro.simulation.kernel import (  # noqa: E402
+    AutoCalendarKernel,
+    CalendarKernel,
+    EventKernel,
+    HeapKernel,
+)
+
+#: fixed bucket widths to sweep (simulated seconds)
+FIXED_WIDTHS = (10.0, 60.0, 120.0, 600.0, 3600.0)
+
+#: the paper's three-day arrival window
+WINDOW_SECONDS = 259_200.0
+
+
+def run_workload(kernel: EventKernel, arrivals: int, seed: int) -> tuple[int, float]:
+    """Drain one synthetic workload; return (events fired, wall seconds).
+
+    Arrivals are prescheduled uniformly over the window; each one spawns
+    an idle-elevation timer (+20 min), a session end (+2 h) and, with
+    probability 0.35, a backoff-style retry 10-40 min out.  RNG draws
+    happen in dispatch order, which the determinism contract makes
+    identical across kernels, so every kernel replays the same events.
+    """
+    rng = random.Random(seed)
+    sim = Simulator(kernel=kernel)
+    fired = [0]
+
+    def timer(_argument: object) -> None:
+        fired[0] += 1
+
+    def arrival(_argument: object) -> None:
+        fired[0] += 1
+        sim.schedule_in(1200.0, timer, None)
+        sim.schedule_in(7200.0, timer, None)
+        if rng.random() < 0.35:
+            sim.schedule_in(600.0 + rng.random() * 1800.0, timer, None)
+
+    for _ in range(arrivals):
+        sim.schedule_at(rng.random() * WINDOW_SECONDS, arrival, None)
+    start = perf_counter()
+    sim.run()
+    return fired[0], perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 20k arrivals instead of 200k")
+    parser.add_argument("--arrivals", type=int, default=None,
+                        help="prescheduled arrival count (overrides --quick)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    arrivals = args.arrivals or (20_000 if args.quick else 200_000)
+    rows: list[tuple[str, int, float]] = []
+
+    events, wall = run_workload(HeapKernel(), arrivals, args.seed)
+    rows.append(("heap", events, wall))
+    for width in FIXED_WIDTHS:
+        events, wall = run_workload(
+            CalendarKernel(bucket_seconds=width), arrivals, args.seed
+        )
+        rows.append((f"calendar w={width:g}s", events, wall))
+    auto = AutoCalendarKernel()
+    events, wall = run_workload(auto, arrivals, args.seed)
+    rows.append((f"calendar-auto (learned w={auto._width:.1f}s)", events, wall))
+
+    reference_events = rows[0][1]
+    print(f"{arrivals:,} arrivals over {WINDOW_SECONDS / 3600:.0f} h, "
+          f"{reference_events:,} events drained per kernel\n")
+    print(f"{'kernel':<36} {'wall (s)':>9} {'events/sec':>12}")
+    for label, events, wall in rows:
+        if events != reference_events:  # the contract makes this impossible
+            print(f"WARNING: {label} fired {events:,} events, "
+                  f"expected {reference_events:,}", file=sys.stderr)
+        print(f"{label:<36} {wall:>9.3f} {events / wall:>12,.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,13 +2,13 @@
 """Kernel/probe scaling benchmark: events/sec across populations.
 
 Measures the simulation hot path on the ``metropolis_100k`` workload at a
-range of population scales, in three configurations per scale:
+range of population scales:
 
 * ``full_heap`` — binary heap kernel, every metric probe, message
   accounting: the full-instrumentation path (what every run paid before
   kernels and probe subscriptions existed);
-* ``fast_heap`` / ``fast_calendar`` — the scenario's tuned fast path
-  (subscribed probes only, no message accounting) under each kernel.
+* ``fast_<kernel>`` — the scenario's tuned fast path (subscribed probes
+  only, no message accounting) under every registered kernel.
 
 Results are printed and written to ``benchmarks/output/BENCH_kernel_scaling.json``
 (schema ``repro.bench_kernel_scaling.v1``, validated by
@@ -91,7 +91,8 @@ def run_bench(scales, repeats: int, quick: bool) -> dict:
         full = measure(full_config, repeats)
         runs.append({
             "scale": scale, "peers": peers, "mode": "full_heap",
-            "kernel": "heap", "probes": None, **full,
+            "engine": full_config.engine, "kernel": "heap", "probes": None,
+            **full,
         })
         print(f"scale {scale:>5} ({peers} peers)  full_heap      "
               f"{full['events_per_sec']:>10,.0f} ev/s", flush=True)
@@ -102,7 +103,8 @@ def run_bench(scales, repeats: int, quick: bool) -> dict:
             fast_by_kernel[kernel] = fast
             runs.append({
                 "scale": scale, "peers": peers, "mode": f"fast_{kernel}",
-                "kernel": kernel, "probes": list(fast_config.probes or ()),
+                "engine": fast_config.engine, "kernel": kernel,
+                "probes": list(fast_config.probes or ()),
                 **fast,
             })
             print(f"scale {scale:>5} ({peers} peers)  fast_{kernel:<9} "

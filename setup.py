@@ -1,11 +1,179 @@
-"""Legacy setup shim.
+"""Legacy setup shim for wheel-less environments.
 
-The execution environment has no ``wheel`` package available offline, so
-PEP 660 editable installs fail; this shim lets ``pip install -e .`` fall
-back to the classic ``setup.py develop`` path.  All metadata lives in
-``pyproject.toml``.
+All metadata lives in ``pyproject.toml``.  This shim exists because the
+offline environments this repo targets have no ``wheel`` package, while
+setuptools' PEP 517/660 code paths assume it in two places:
+
+* ``dist_info`` (metadata generation) delegates the egg-info →
+  dist-info conversion to a ``bdist_wheel`` command normally provided by
+  the ``wheel`` package — :class:`MinimalBdistWheel` below supplies the
+  three entry points setuptools actually calls (``egg2dist``,
+  ``write_wheelfile``, ``get_tag``);
+* ``editable_wheel`` (``pip install -e .``) lazily imports
+  ``wheel.wheelfile.WheelFile`` to zip the editable wheel —
+  :func:`_install_wheel_shim` registers a minimal RECORD-writing
+  ``zipfile`` subclass under that name in ``sys.modules`` before the
+  import happens (the build backend executes ``setup.py`` in-process, so
+  the registration is visible to it).
+
+With the real ``wheel`` package installed, the shim steps aside
+entirely.  Building *distributable* (non-editable) wheels still requires
+the real package.
 """
+
+import sys
 
 from setuptools import setup
 
-setup()
+try:
+    from wheel.bdist_wheel import bdist_wheel as _  # noqa: F401
+
+    CMDCLASS = {}
+except ImportError:
+    import base64
+    import hashlib
+    import os
+    import shutil
+    import types
+    import zipfile
+    from distutils.core import Command
+    from email.parser import Parser
+
+    WHEEL_FILE_CONTENT = (
+        "Wheel-Version: 1.0\n"
+        "Generator: setup-py-shim (no wheel package)\n"
+        "Root-Is-Purelib: true\n"
+        "Tag: py3-none-any\n"
+    )
+
+    class MinimalBdistWheel(Command):
+        description = "egg-info to dist-info conversion (no `wheel` package)"
+        user_options = []
+
+        def initialize_options(self):
+            pass
+
+        def finalize_options(self):
+            pass
+
+        def run(self):
+            raise RuntimeError(
+                "building a distributable wheel requires the `wheel` "
+                "package; this shim only supports metadata generation "
+                "and editable installs"
+            )
+
+        def get_tag(self):
+            return ("py3", "none", "any")
+
+        def write_wheelfile(self, dist_info_dir):
+            path = os.path.join(dist_info_dir, "WHEEL")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(WHEEL_FILE_CONTENT)
+
+        @staticmethod
+        def _requires_dist(egginfo_path):
+            """Requires-Dist / Provides-Extra lines from requires.txt."""
+            requires_path = os.path.join(egginfo_path, "requires.txt")
+            if not os.path.isfile(requires_path):
+                return
+            extra = marker = None
+            with open(requires_path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    if line.startswith("[") and line.endswith("]"):
+                        extra, _, marker = line[1:-1].partition(":")
+                        if extra:
+                            yield ("Provides-Extra", extra)
+                        continue
+                    conditions = []
+                    if extra:
+                        conditions.append(f'extra == "{extra}"')
+                    if marker:
+                        conditions.append(f"({marker})")
+                    if conditions:
+                        line = f"{line} ; {' and '.join(conditions)}"
+                    yield ("Requires-Dist", line)
+
+        def egg2dist(self, egginfo_path, distinfo_path):
+            """The method ``setuptools.command.dist_info`` calls."""
+            pkginfo_path = os.path.join(egginfo_path, "PKG-INFO")
+            with open(pkginfo_path, encoding="utf-8") as handle:
+                metadata = Parser().parse(handle)
+            metadata.replace_header("Metadata-Version", "2.1")
+            for name, value in self._requires_dist(egginfo_path):
+                metadata.add_header(name, value)
+
+            if os.path.isdir(distinfo_path):
+                shutil.rmtree(distinfo_path)
+            os.makedirs(distinfo_path)
+            with open(
+                os.path.join(distinfo_path, "METADATA"), "w", encoding="utf-8"
+            ) as handle:
+                handle.write(metadata.as_string())
+            for extra_file in ("entry_points.txt", "top_level.txt"):
+                source = os.path.join(egginfo_path, extra_file)
+                if os.path.isfile(source):
+                    shutil.copy(source, os.path.join(distinfo_path, extra_file))
+            self.write_wheelfile(distinfo_path)
+
+    class _ShimWheelFile(zipfile.ZipFile):
+        """RECORD-writing zip, API-compatible with wheel.wheelfile.WheelFile
+        as far as setuptools' ``editable_wheel`` exercises it."""
+
+        def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+            super().__init__(file, mode, compression=compression)
+            self._shim_records = []
+            base = os.path.basename(str(file))
+            name_version = "-".join(base.split("-")[:2])
+            self.dist_info_path = f"{name_version}.dist-info"
+
+        def _record(self, arcname, data):
+            digest = (
+                base64.urlsafe_b64encode(hashlib.sha256(data).digest())
+                .rstrip(b"=")
+                .decode("ascii")
+            )
+            self._shim_records.append(f"{arcname},sha256={digest},{len(data)}")
+
+        def writestr(self, zinfo_or_arcname, data, *args, **kwargs):
+            super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+            arcname = getattr(zinfo_or_arcname, "filename", zinfo_or_arcname)
+            if isinstance(data, str):
+                data = data.encode("utf-8")
+            self._record(arcname, data)
+
+        def write(self, filename, arcname=None, *args, **kwargs):
+            super().write(filename, arcname, *args, **kwargs)
+            with open(filename, "rb") as handle:
+                self._record(arcname or filename, handle.read())
+
+        def write_files(self, base_dir):
+            for root, _dirs, files in os.walk(base_dir):
+                for name in sorted(files):
+                    path = os.path.join(root, name)
+                    self.write(path, os.path.relpath(path, base_dir))
+
+        def close(self):
+            if self.fp is not None and self.mode == "w":
+                record_path = f"{self.dist_info_path}/RECORD"
+                lines = [*self._shim_records, f"{record_path},,", ""]
+                super().writestr(record_path, "\n".join(lines))
+            super().close()
+
+    def _install_wheel_shim():
+        if "wheel.wheelfile" in sys.modules:
+            return
+        wheel_module = types.ModuleType("wheel")
+        wheelfile_module = types.ModuleType("wheel.wheelfile")
+        wheelfile_module.WheelFile = _ShimWheelFile
+        wheel_module.wheelfile = wheelfile_module
+        sys.modules["wheel"] = wheel_module
+        sys.modules["wheel.wheelfile"] = wheelfile_module
+
+    _install_wheel_shim()
+    CMDCLASS = {"bdist_wheel": MinimalBdistWheel}
+
+setup(cmdclass=CMDCLASS)

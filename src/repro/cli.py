@@ -22,8 +22,9 @@ Commands
 ``scenarios``
     List every registered workload scenario.
 ``perf``
-    Performance harness: run one workload under every event kernel (and
-    the full-instrumentation reference) and print events/sec.
+    Performance harness: run one workload under every event kernel and
+    requested execution engine (``--engines``), plus the
+    full-instrumentation reference, and print events/sec.
 ``assignment``
     OTS_p2p vs baselines on a supplier set given as classes, e.g.
     ``repro-p2pstream assignment 1 2 3 3``.
@@ -33,9 +34,11 @@ Commands
 Simulation commands pick their workload with ``--scenario NAME`` (see
 ``scenarios``) or the legacy ``--pattern N`` shorthand, and accept
 ``--scale`` so full paper scale (1.0) or quick runs (0.05) are one flag
-away.  ``--kernel heap|calendar`` selects the event-queue kernel
-(results are bit-identical either way; the calendar kernel is faster at
-population scale), ``--lifecycle`` selects a session-lifecycle model
+away.  ``--kernel`` selects the event-queue kernel
+(results are bit-identical either way; the calendar kernels are faster
+at population scale), ``--engine object|array`` selects the execution
+engine (also bit-identical; the struct-of-arrays engine is built for
+100k+ populations), ``--lifecycle`` selects a session-lifecycle model
 scheduling mid-stream supplier departures (with ``--recovery``
 choosing what interrupted requesters do; see
 :mod:`repro.simulation.lifecycle`), ``--probes NAME...`` (on
@@ -76,7 +79,7 @@ from repro.scenarios import (
 from repro.orchestration.store import ResultStore
 from repro.orchestration.study import ResultSet, Study
 from repro.simulation.arrivals import arrivals_per_bin, generate_arrival_times, make_pattern
-from repro.simulation.config import SimulationConfig
+from repro.simulation.config import ENGINE_NAMES, SimulationConfig
 from repro.simulation.kernel import KERNEL_NAMES
 from repro.simulation.lifecycle import LIFECYCLE_NAMES, RECOVERY_MODES
 from repro.simulation.metrics import SeriesPoint
@@ -108,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--kernel", choices=list(KERNEL_NAMES), default=None,
                        help="event-queue kernel (results are bit-identical; "
                             "default: the scenario's, normally heap)")
+        p.add_argument("--engine", choices=list(ENGINE_NAMES), default=None,
+                       help="execution engine (results are bit-identical; "
+                            "'array' runs struct-of-arrays state for "
+                            "100k+ populations; default: the scenario's, "
+                            "normally object)")
         p.add_argument("--lifecycle", choices=list(LIFECYCLE_NAMES),
                        default=None,
                        help="session-lifecycle model scheduling mid-stream "
@@ -240,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, metavar="KERNEL",
                         help="kernels to measure (default: --kernel if "
                              "given, else all)")
+    perf_p.add_argument("--engines", nargs="+", choices=list(ENGINE_NAMES),
+                        default=None, metavar="ENGINE",
+                        help="execution engines to measure (default: "
+                             "--engine if given, else the workload's)")
     perf_p.add_argument("--repeats", type=positive_int, default=1,
                         help="measurements per kernel; the best is reported "
                              "(default 1)")
@@ -290,6 +302,8 @@ def _make_config(args: argparse.Namespace, **extra: object) -> SimulationConfig:
         extra["protocol"] = args.protocol
     if getattr(args, "kernel", None) is not None:
         extra["kernel"] = args.kernel
+    if getattr(args, "engine", None) is not None:
+        extra["engine"] = args.engine
     if getattr(args, "lifecycle", None) is not None:
         extra["lifecycle"] = args.lifecycle
     if getattr(args, "recovery", None) is not None:
@@ -526,8 +540,11 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
 def _cmd_perf(args: argparse.Namespace) -> int:
     config = _make_config(args)
     # --kernels wins; a bare --kernel measures just that kernel; neither
-    # measures them all
+    # measures them all.  Same precedence for --engines/--engine, except
+    # the default is the workload's own engine, not every engine (the
+    # array engine rejects some policies).
     kernels = args.kernels or ([args.kernel] if args.kernel else list(KERNEL_NAMES))
+    engines = args.engines or ([args.engine] if args.engine else [config.engine])
     print(config.describe())
     print()
 
@@ -542,7 +559,9 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         probes = run_config.probes
         return events_per_sec, [
             label,
-            run_config.kernel,
+            run_config.engine,
+            # the array engine has its own dispatch core; kernel is unused
+            run_config.kernel if run_config.engine == "object" else "-",
             "all" if probes is None else f"{len(probes)}/{len(PROBE_NAMES)}",
             f"{result.events_processed}",
             f"{result.wall_seconds:.2f}s",
@@ -556,22 +575,27 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         # binary heap — what every run paid before kernels and probe
         # subscriptions existed
         reference = config.replace(
-            kernel="heap", probes=None, track_messages=True
+            kernel="heap", engine="object", probes=None, track_messages=True
         )
         reference_events_per_sec, row = measure("reference", reference)
         rows.append(row + ["1.00x"])
-    for kernel in kernels:
-        events_per_sec, row = measure("workload", config.replace(kernel=kernel))
-        speedup = (
-            f"{events_per_sec / reference_events_per_sec:.2f}x"
-            if reference_events_per_sec
-            else "-"
-        )
-        rows.append(row + [speedup])
+    for engine in engines:
+        # the kernel axis only exists on the object engine
+        for kernel in kernels if engine == "object" else kernels[:1]:
+            events_per_sec, row = measure(
+                "workload", config.replace(kernel=kernel, engine=engine)
+            )
+            speedup = (
+                f"{events_per_sec / reference_events_per_sec:.2f}x"
+                if reference_events_per_sec
+                else "-"
+            )
+            rows.append(row + [speedup])
     print(render_table(
-        ["run", "kernel", "probes", "events", "wall", "events/sec", "speedup"],
+        ["run", "engine", "kernel", "probes", "events", "wall",
+         "events/sec", "speedup"],
         rows,
-        title="perf: events/sec by kernel",
+        title="perf: events/sec by engine and kernel",
     ))
     return 0
 

@@ -73,6 +73,19 @@ class CentralDirectory:
         except KeyError:
             raise LookupError_(f"peer {peer_id} unknown to the directory") from None
 
+    def live_entries(self, media_id: str) -> list[int]:
+        """The directory's live peer-id array for ``media_id``.
+
+        Returns the *internal* list that :meth:`register` /
+        :meth:`unregister` mutate in place, creating it if the media id has
+        never been seen.  The array engine
+        (:mod:`repro.simulation.arrayengine`) holds onto it so its candidate
+        sampling draws from exactly the population — and in exactly the
+        order — that :meth:`sample_candidates` would see, without a dict
+        lookup per request.  Callers must not mutate the list.
+        """
+        return self._entries.setdefault(media_id, [])
+
     def sample_candidates(
         self, media_id: str, count: int, rng: random.Random
     ) -> list[tuple[int, int]]:

@@ -48,13 +48,16 @@ def config_from_dict(data: dict) -> SimulationConfig:
 def config_hash(config: SimulationConfig) -> str:
     """Stable SHA-256 hex digest of a configuration's canonical JSON.
 
-    The ``kernel`` field is excluded: event kernels are
+    The ``kernel`` and ``engine`` fields are excluded: event kernels are
     dispatch-order-identical by contract (see
-    :mod:`repro.simulation.kernel`), so two runs differing only in kernel
-    produce the same measurements and deliberately share one cache entry.
+    :mod:`repro.simulation.kernel`) and the array engine is parity-pinned
+    against the object engine (see :mod:`repro.simulation.arrayengine`),
+    so runs differing only in kernel or engine produce the same
+    measurements and deliberately share one cache entry.
     """
     data = config_to_dict(config)
     data.pop("kernel", None)
+    data.pop("engine", None)
     canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

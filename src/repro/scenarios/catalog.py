@@ -138,6 +138,26 @@ BUILTIN_SCENARIOS: tuple[Scenario, ...] = (
             ("horizon_seconds", 8 * 24 * HOUR),
         ),
     ),
+    Scenario(
+        name="megacity_1m",
+        description="a million-requester megacity audience on the array "
+        "engine: the paper's class mix at 10x its population, steady "
+        "arrivals, struct-of-arrays peer state",
+        arrival_pattern=1,
+        seed_suppliers=((1, 2000),),
+        requesting_peers=(
+            (1, 100000),
+            (2, 100000),
+            (3, 400000),
+            (4, 400000),
+        ),
+        config_overrides=(
+            ("kernel", "calendar"),
+            ("engine", "array"),
+            ("probes", ("capacity", "admission_rate", "overall_admission", "table1")),
+            ("track_messages", False),
+        ),
+    ),
     # ---- dynamic-membership workloads (session-lifecycle models) --------
     # Suppliers can die *mid-stream* here: departures are kernel-scheduled
     # events, active sessions are interrupted, and requesters recover by

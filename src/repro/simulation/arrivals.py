@@ -63,6 +63,11 @@ class ArrivalPattern:
     density: Callable[[float], float]
     cumulative: Callable[[float], float]
     peak_density: float
+    #: optional fast path for deterministic generation: the factory inlines
+    #: its cumulative form into the bisection loop (same arithmetic, same
+    #: op order — bit-identical to ``quantile``, minus 60 closure calls per
+    #: arrival).  ``generate_arrival_times`` uses it when present.
+    deterministic_times: Callable[[int], list[float]] | None = None
 
     def rate_per_second(self, t: float, total_arrivals: int) -> float:
         """Instantaneous arrival rate at ``t`` for ``total_arrivals`` peers."""
@@ -92,12 +97,29 @@ class ArrivalPattern:
 def _constant_pattern(window: float) -> ArrivalPattern:
     """Pattern 1: uniform density ``1/W``."""
     rate = 1.0 / window
+
+    def deterministic_times(n: int) -> list[float]:
+        # quantile() with cumulative() inlined; identical arithmetic
+        times = [0.0] * n
+        for i in range(n):
+            fraction = (i + 0.5) / n
+            lo, hi = 0.0, window
+            for _ in range(60):
+                mid = (lo + hi) / 2.0
+                if min(max(mid / window, 0.0), 1.0) < fraction:
+                    lo = mid
+                else:
+                    hi = mid
+            times[i] = (lo + hi) / 2.0
+        return times
+
     return ArrivalPattern(
         pattern_id=1,
         window_seconds=window,
         density=lambda t: rate if 0 <= t < window else 0.0,
         cumulative=lambda t: min(max(t / window, 0.0), 1.0),
         peak_density=rate,
+        deterministic_times=deterministic_times,
     )
 
 
@@ -123,7 +145,31 @@ def _triangle_pattern(window: float) -> ArrivalPattern:
         remaining = (window - t) / half
         return 1.0 - 0.5 * remaining**2
 
-    return ArrivalPattern(2, window, density, cumulative, peak)
+    def deterministic_times(n: int) -> list[float]:
+        # quantile() with cumulative() inlined; identical arithmetic
+        times = [0.0] * n
+        for i in range(n):
+            fraction = (i + 0.5) / n
+            lo, hi = 0.0, window
+            for _ in range(60):
+                mid = (lo + hi) / 2.0
+                if mid <= 0:
+                    c = 0.0
+                elif mid >= window:
+                    c = 1.0
+                elif mid <= half:
+                    c = 0.5 * (mid / half) ** 2
+                else:
+                    remaining = (window - mid) / half
+                    c = 1.0 - 0.5 * remaining**2
+                if c < fraction:
+                    lo = mid
+                else:
+                    hi = mid
+            times[i] = (lo + hi) / 2.0
+        return times
+
+    return ArrivalPattern(2, window, density, cumulative, peak, deterministic_times)
 
 
 def _burst_then_constant_pattern(
@@ -149,7 +195,30 @@ def _burst_then_constant_pattern(
             return burst_rate * t
         return burst_fraction + tail_rate * (t - burst_end)
 
-    return ArrivalPattern(3, window, density, cumulative, burst_rate)
+    def deterministic_times(n: int) -> list[float]:
+        # quantile() with cumulative() inlined; identical arithmetic
+        times = [0.0] * n
+        for i in range(n):
+            fraction = (i + 0.5) / n
+            lo, hi = 0.0, window
+            for _ in range(60):
+                mid = (lo + hi) / 2.0
+                if mid <= 0:
+                    c = 0.0
+                elif mid >= window:
+                    c = 1.0
+                elif mid < burst_end:
+                    c = burst_rate * mid
+                else:
+                    c = burst_fraction + tail_rate * (mid - burst_end)
+                if c < fraction:
+                    lo = mid
+                else:
+                    hi = mid
+            times[i] = (lo + hi) / 2.0
+        return times
+
+    return ArrivalPattern(3, window, density, cumulative, burst_rate, deterministic_times)
 
 
 def _periodic_bursts_pattern(
@@ -190,7 +259,35 @@ def _periodic_bursts_pattern(
         mass += burst_rate * min(offset, burst_len)
         return mass
 
-    return ArrivalPattern(4, window, density, cumulative, floor_rate + burst_rate)
+    def deterministic_times(n: int) -> list[float]:
+        # quantile() with cumulative() inlined; identical arithmetic
+        # (burst_mass_per is a hoisted constant subexpression)
+        burst_mass_per = burst_total_fraction / num_bursts
+        times = [0.0] * n
+        for i in range(n):
+            fraction = (i + 0.5) / n
+            lo, hi = 0.0, window
+            for _ in range(60):
+                mid = (lo + hi) / 2.0
+                if mid <= 0:
+                    c = 0.0
+                elif mid >= window:
+                    c = 1.0
+                else:
+                    full, offset = divmod(mid, spacing)
+                    c = full * burst_mass_per + floor_rate * (full * spacing)
+                    c += floor_rate * offset
+                    c += burst_rate * min(offset, burst_len)
+                if c < fraction:
+                    lo = mid
+                else:
+                    hi = mid
+            times[i] = (lo + hi) / 2.0
+        return times
+
+    return ArrivalPattern(
+        4, window, density, cumulative, floor_rate + burst_rate, deterministic_times
+    )
 
 
 _FACTORIES: dict[int, Callable[[float], ArrivalPattern]] = {
@@ -228,6 +325,8 @@ def generate_arrival_times(
     if total_arrivals == 0:
         return []
     if deterministic:
+        if pattern.deterministic_times is not None:
+            return pattern.deterministic_times(total_arrivals)
         return [
             pattern.quantile((i + 0.5) / total_arrivals) for i in range(total_arrivals)
         ]

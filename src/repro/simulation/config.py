@@ -28,10 +28,17 @@ from repro.simulation.lifecycle import LIFECYCLE_NAMES, RECOVERY_MODES
 from repro.simulation.probes import validate_probes
 from repro.streaming.media import MediaFile
 
-__all__ = ["SimulationConfig", "PAPER_CLASS_SHARES"]
+__all__ = ["SimulationConfig", "PAPER_CLASS_SHARES", "ENGINE_NAMES"]
 
 MINUTE = 60.0
 HOUR = 3600.0
+
+#: Execution engines.  "object" is the reference per-peer object walk;
+#: "array" is the struct-of-arrays engine (repro.simulation.arrayengine),
+#: metric-identical by contract but restricted to level-representable
+#: admission policies.  Defined here (not in the engine module) so the
+#: config layer never imports numpy.
+ENGINE_NAMES: tuple[str, ...] = ("array", "object")
 
 #: Paper: requesting peers are 10% class 1, 10% class 2, 40% class 3, 40% class 4.
 PAPER_CLASS_SHARES: dict[int, float] = {1: 0.10, 2: 0.10, 3: 0.40, 4: 0.40}
@@ -125,10 +132,17 @@ class SimulationConfig:
     probes: tuple[str, ...] | None = None
 
     # ----- execution -------------------------------------------------------
-    #: event-queue kernel ("heap" or "calendar"); never changes results —
-    #: kernels are dispatch-order-identical (see repro.simulation.kernel) —
-    #: so it is excluded from result-cache hashes
+    #: event-queue kernel ("heap", "calendar" or "calendar-auto");
+    #: never changes results — kernels are dispatch-order-identical
+    #: (see repro.simulation.kernel) — so it is excluded from
+    #: result-cache hashes
     kernel: str = "heap"
+    #: execution engine ("object" or "array"); never changes results —
+    #: the array engine is parity-pinned against the object engine (see
+    #: repro.simulation.arrayengine) — so it is excluded from
+    #: result-cache hashes like ``kernel``.  The array engine dispatches
+    #: through its own lane-based event core and ignores ``kernel``.
+    engine: str = "object"
 
     # ----- reproducibility -------------------------------------------------
     master_seed: int = 20020701  # ICDCS 2002 was held in July
@@ -214,6 +228,11 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"unknown event kernel {self.kernel!r}; "
                 f"known: {', '.join(KERNEL_NAMES)}"
+            )
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; "
+                f"known: {', '.join(ENGINE_NAMES)}"
             )
         if self.probes is not None:
             # normalize (JSON round-trips hand us lists) then validate

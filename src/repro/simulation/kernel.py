@@ -49,6 +49,13 @@ Kernels
     backoff retries, session ends): pushes land in buckets of tens of
     entries instead of a 100k-entry global heap.  Simulated time only
     moves forward, so bucket indices are popped monotonically.
+:class:`AutoCalendarKernel`
+    The calendar queue with its bucket width chosen from the workload
+    itself: entries are staged until the first pop (in practice, the end
+    of system construction — prescheduled arrivals, timers, samplers),
+    then the width is set from the staged events' mean spacing so buckets
+    hold roughly :attr:`~AutoCalendarKernel.TARGET_PER_BUCKET` entries.
+    Spares population-scale runs from hand-tuning ``bucket_seconds``.
 """
 
 from __future__ import annotations
@@ -65,6 +72,7 @@ __all__ = [
     "EventKernel",
     "HeapKernel",
     "CalendarKernel",
+    "AutoCalendarKernel",
     "KERNEL_NAMES",
     "make_kernel",
 ]
@@ -269,10 +277,142 @@ class CalendarKernel:
         return None
 
 
+class AutoCalendarKernel(CalendarKernel):
+    """Calendar queue that sizes its buckets from the workload itself.
+
+    A fixed bucket width is a wager on the event mix: too narrow and a
+    long-horizon run pays for millions of empty buckets, too wide and a
+    population-scale run degenerates into a handful of giant heaps.  This
+    kernel defers the bet.  Pushes are *staged* in a plain list until the
+    first :meth:`pop_due` — by which point system construction has
+    prescheduled the bulk of the workload (arrivals, samplers, lifecycle
+    timers) — then the width is calibrated so that a bucket holds roughly
+    :attr:`TARGET_PER_BUCKET` of the staged entries::
+
+        width = clamp(span / count * TARGET_PER_BUCKET,
+                      MIN_BUCKET_SECONDS, MAX_BUCKET_SECONDS)
+
+    where ``span`` is the staged entries' time range.  The staged entries
+    are then folded into the calendar and the kernel behaves exactly like
+    :class:`CalendarKernel` from there on.
+
+    The width only affects how entries are *binned*, never the ``(time,
+    sequence)`` dispatch order, so the determinism contract — and
+    cross-kernel bit-parity — holds regardless of what width the
+    calibration picks.
+    """
+
+    name = "calendar-auto"
+
+    #: aim for about this many staged entries per bucket
+    TARGET_PER_BUCKET = 16
+
+    #: calibration clamp — never finer than a second, never coarser than
+    #: an hour (the workload's outermost timer scale)
+    MIN_BUCKET_SECONDS = 1.0
+    MAX_BUCKET_SECONDS = 3600.0
+
+    __slots__ = ("_staged",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: pushes received before calibration; ``None`` once calibrated
+        self._staged: list[Entry] | None = []
+
+    def push(self, entry: Entry) -> None:
+        """Stage until first pop; calendar insert thereafter.
+
+        The calendar insert is inlined (not ``super().push``): push runs
+        once per scheduled event, and the extra bound-method call showed
+        up as a measurable constant in ``bench_calendar_width.py``.
+        """
+        staged = self._staged
+        if staged is not None:
+            staged.append(entry)
+            self.live += 1
+            return
+        index = int(entry[0] // self._width)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            self._buckets[index] = bucket = []
+            heapq.heappush(self._order, index)
+        heapq.heappush(bucket, entry)
+        self.live += 1
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Flag the handle dead (staged entries are dropped at calibration)."""
+        if self._staged is None:
+            super().cancel(handle)
+            return
+        if handle.cancelled or handle.done:
+            return
+        # No compaction while staging: the buckets are still empty, and
+        # calibration filters cancelled entries out anyway.
+        handle.cancelled = True
+        self.live -= 1
+
+    def pop_due(self, until: float | None) -> Entry | None:
+        """Calibrate on first use, then run the calendar pop (inlined —
+        this is the once-per-event path; see :meth:`push`)."""
+        if self._staged is not None:
+            self._calibrate()
+        order = self._order
+        buckets = self._buckets
+        while order:
+            index = order[0]
+            bucket = buckets.get(index)
+            if not bucket:
+                heapq.heappop(order)
+                if bucket is not None:
+                    del buckets[index]
+                continue
+            entry = bucket[0]
+            if until is not None and entry[0] > until:
+                return None
+            heapq.heappop(bucket)
+            handle = entry[2]
+            handle.done = True
+            if handle.cancelled:
+                self._dead -= 1
+                continue
+            self.live -= 1
+            return entry
+        return None
+
+    def _calibrate(self) -> None:
+        """Pick the bucket width from the staged entries and fold them in."""
+        entries = [
+            entry for entry in self._staged if not entry[2].cancelled
+        ]
+        self._staged = None
+        if not entries:
+            return  # keep the default width; nothing to learn from
+        times = [entry[0] for entry in entries]
+        span = max(times) - min(times)
+        width = span / len(entries) * self.TARGET_PER_BUCKET
+        self._width = min(
+            self.MAX_BUCKET_SECONDS, max(self.MIN_BUCKET_SECONDS, width)
+        )
+        buckets = self._buckets
+        width = self._width
+        for entry in entries:
+            index = int(entry[0] // width)
+            bucket = buckets.get(index)
+            if bucket is None:
+                buckets[index] = bucket = []
+            bucket.append(entry)
+        for bucket in buckets.values():
+            heapq.heapify(bucket)
+        self._order = sorted(buckets)
+        # ``live`` was maintained during staging; cancelled staged entries
+        # never entered the buckets, so the dead count stays zero.
+
+
 #: registered kernels, by config name
 _KERNELS: dict[str, type] = {
     HeapKernel.name: HeapKernel,
     CalendarKernel.name: CalendarKernel,
+    AutoCalendarKernel.name: AutoCalendarKernel,
 }
 
 #: valid values of ``SimulationConfig.kernel``

@@ -68,10 +68,27 @@ class SimulationResult:
 def run_simulation(
     config: SimulationConfig, trace: TraceRecorder | None = None
 ) -> SimulationResult:
-    """Build and run one streaming system; returns its results."""
+    """Build and run one streaming system; returns its results.
+
+    ``config.engine`` selects the execution engine: the per-peer object
+    walk of :class:`~repro.simulation.system.StreamingSystem` or the
+    struct-of-arrays :class:`~repro.simulation.arrayengine.ArrayEngine`.
+    Both produce identical results by contract (the array engine is
+    parity-pinned against the object engine), so everything downstream
+    of this call is engine-agnostic.  The import is deferred so runs on
+    the default engine never pay for numpy.
+    """
     start = time.perf_counter()
-    system = StreamingSystem(config, trace=trace)
-    metrics = system.run()
+    if config.engine == "array":
+        from repro.simulation.arrayengine import ArrayEngine
+
+        system = ArrayEngine(config, trace=trace)
+        metrics = system.run()
+        events_processed = system.events_processed
+    else:
+        system = StreamingSystem(config, trace=trace)
+        metrics = system.run()
+        events_processed = system.sim.events_processed
     wall = time.perf_counter() - start
     message_stats = (
         system.transport.stats.snapshot() if system.transport is not None else None
@@ -79,7 +96,7 @@ def run_simulation(
     return SimulationResult(
         config=config,
         metrics=metrics,
-        events_processed=system.sim.events_processed,
+        events_processed=events_processed,
         wall_seconds=wall,
         message_stats=message_stats,
     )

@@ -1,0 +1,205 @@
+"""Array-engine parity suite: struct-of-arrays engine vs. the object oracle.
+
+The array engine's one promise is *bit-identical results*: same metrics
+payload, same event count, same message statistics, same trace — for any
+configuration both engines accept.  These tests pin that promise on
+every builtin scenario, on randomized property-style configurations, and
+on the targeted seams (vectorized arrivals, session-slot recycling,
+lifecycle recovery) where an off-by-one would hide.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import all_scenarios, get_scenario
+from repro.simulation.arrayengine import LEVEL_POLICIES
+from repro.simulation.arrivals import generate_arrival_times, make_pattern
+from repro.simulation.arraystate import (
+    VECTORIZABLE_PATTERNS,
+    SessionTable,
+    vectorized_arrival_times,
+)
+from repro.simulation.config import SimulationConfig
+from repro.simulation.lifecycle import RECOVERY_MODES
+from repro.simulation.runner import run_simulation
+from repro.simulation.trace import TraceRecorder
+
+
+def assert_engine_parity(config, *, trace: bool = False) -> None:
+    """Run ``config`` on both engines; assert bit-identical outputs.
+
+    Metrics are compared as canonical JSON text so NaN-valued means stay
+    comparable (NaN != NaN under ``==``).
+    """
+    object_trace = TraceRecorder() if trace else None
+    array_trace = TraceRecorder() if trace else None
+    reference = run_simulation(config.replace(engine="object"), trace=object_trace)
+    result = run_simulation(config.replace(engine="array"), trace=array_trace)
+    assert json.dumps(result.metrics.to_dict(), sort_keys=True) == json.dumps(
+        reference.metrics.to_dict(), sort_keys=True
+    )
+    assert result.events_processed == reference.events_processed
+    assert result.message_stats == reference.message_stats
+    if trace:
+        assert array_trace.events == object_trace.events
+
+
+def test_all_builtin_scenarios_parity():
+    """Every builtin workload — churn, lifecycle, chord, loss — agrees."""
+    for scenario in all_scenarios():
+        config = scenario.build_config(scale=0.004)
+        assert_engine_parity(config)
+
+
+@pytest.mark.parametrize("recovery", RECOVERY_MODES)
+def test_lifecycle_recovery_parity(recovery):
+    """Mid-stream failure and every recovery mode replay identically."""
+    config = get_scenario("flash_departure").build_config(
+        scale=0.02, lifecycle_recovery=recovery
+    )
+    assert_engine_parity(config)
+
+
+@pytest.mark.parametrize("scenario_name", ["quickstart", "flash_departure"])
+def test_trace_parity(scenario_name):
+    """The array engine emits the identical trace event stream."""
+    config = get_scenario(scenario_name).build_config(scale=0.008)
+    assert_engine_parity(config, trace=True)
+
+
+def test_randomized_config_parity():
+    """Property-style sweep: random small configs agree on both engines.
+
+    Eight seeded draws across the dimensions that steer engine control
+    flow: arrival pattern, level-representable protocol, lookup service,
+    probe loss, churn, lifecycle model + recovery, message accounting and
+    stochastic arrivals.
+    """
+    rng = random.Random(20020701)
+    protocols = sorted(LEVEL_POLICIES)
+    for attempt in range(8):
+        lifecycle = rng.choice(("none", "none", "sessions", "flash", "diurnal"))
+        churn = lifecycle == "none" and rng.random() < 0.5
+        config = SimulationConfig(
+            seed_suppliers={1: rng.randint(2, 6)},
+            requesting_peers={
+                peer_class: rng.randint(10, 60) for peer_class in (1, 2, 3, 4)
+            },
+            protocol=rng.choice(protocols),
+            arrival_pattern=rng.randint(1, 4),
+            deterministic_arrivals=rng.random() < 0.75,
+            lookup=rng.choice(("directory", "chord")),
+            down_probability=rng.choice((0.0, 0.3)),
+            track_messages=rng.random() < 0.5,
+            supplier_mean_online_seconds=(
+                8 * 3600.0 if churn else None
+            ),
+            suppliers_rejoin=rng.random() < 0.5,
+            lifecycle=lifecycle,
+            lifecycle_recovery=rng.choice(RECOVERY_MODES),
+            lifecycle_rejoin=rng.random() < 0.5,
+            master_seed=rng.randint(1, 2**31),
+        )
+        assert_engine_parity(config)
+
+
+def test_linear_elevation_is_not_level_representable():
+    """The one non-level-representable variant is rejected, not mis-run."""
+    config = SimulationConfig(
+        protocol="dac-linear-elevation",
+        seed_suppliers={1: 2},
+        requesting_peers={1: 5, 2: 5, 3: 5, 4: 5},
+        engine="array",
+    )
+    with pytest.raises(ConfigurationError, match="dac-linear-elevation"):
+        run_simulation(config)
+    # the object engine runs it fine
+    run_simulation(config.replace(engine="object"))
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ConfigurationError, match="engine"):
+        SimulationConfig(engine="simd")
+
+
+class TestVectorizedArrivals:
+    @pytest.mark.parametrize("pattern_id", VECTORIZABLE_PATTERNS)
+    @pytest.mark.parametrize("window", [3600.0, 77777.5, 259200.0])
+    def test_bit_identical_to_scalar_quantiles(self, pattern_id, window):
+        for total in (1, 7, 250):
+            pattern = make_pattern(pattern_id, window)
+            scalar = generate_arrival_times(pattern, total, deterministic=True)
+            vector = vectorized_arrival_times(pattern_id, window, total)
+            assert vector == scalar  # exact float equality, on purpose
+
+    def test_triangle_pattern_has_no_vectorized_path(self):
+        # pattern 2's cumulative uses ``**``, whose libm path differs in
+        # the last ulp between numpy and CPython — so it must refuse
+        assert 2 not in VECTORIZABLE_PATTERNS
+        with pytest.raises(ConfigurationError, match="pattern 2"):
+            vectorized_arrival_times(2, 3600.0, 10)
+
+    def test_empty_population(self):
+        assert vectorized_arrival_times(1, 3600.0, 0) == []
+
+    @pytest.mark.parametrize("pattern_id", [1, 2, 3, 4])
+    def test_deterministic_times_closure_matches_quantile(self, pattern_id):
+        # the inlined-bisection fast path every pattern factory ships
+        # must equal the generic quantile bisection bit-for-bit
+        pattern = make_pattern(pattern_id, 259200.0)
+        for total in (1, 7, 100):
+            fast = pattern.deterministic_times(total)
+            slow = [pattern.quantile((i + 0.5) / total) for i in range(total)]
+            assert fast == slow
+
+
+class TestSessionTable:
+    def test_alloc_grows_then_recycles_lifo(self):
+        table = SessionTable()
+        first = table.alloc(10, (1, 2), 5.0, 60.0)
+        second = table.alloc(11, (3,), 6.0, 60.0)
+        third = table.alloc(12, (4,), 7.0, 60.0)
+        assert (first, second, third) == (0, 1, 2)
+        table.release(first)
+        table.release(third)
+        # LIFO: most recently freed slot is handed out first
+        assert table.alloc(20, (5,), 8.0, 30.0) == third
+        assert table.alloc(21, (6,), 9.0, 30.0) == first
+        # high-water mark: no column ever shrank
+        assert len(table) == 3
+        assert table.free_slots == []
+
+    def test_release_bumps_generation_and_drops_suppliers(self):
+        table = SessionTable()
+        slot = table.alloc(7, (1, 2, 3), 0.0, 120.0)
+        generation = table.generation[slot]
+        table.release(slot)
+        assert table.generation[slot] == generation + 1
+        assert table.suppliers[slot] == ()
+        # a recycled slot starts with fresh bookkeeping
+        table.interruptions[slot] = 99  # stale garbage from the old tenant
+        table.alloc(8, (4,), 1.0, 60.0)
+        assert table.interruptions[slot] == 0
+        assert table.interrupted_at[slot] is None
+        assert table.recovery_attempts[slot] == 0
+        assert table.stall_seconds[slot] == 0.0
+
+    def test_generation_distinguishes_stale_events(self):
+        # the engine's (slot, generation) pairs stand in for cancelling
+        # the object engine's end-event handles: after release + realloc,
+        # an event carrying the old generation must not match
+        table = SessionTable()
+        slot = table.alloc(1, (2,), 0.0, 60.0)
+        stale = (slot, table.generation[slot])
+        table.release(slot)
+        table.alloc(3, (4,), 1.0, 60.0)
+        assert table.generation[slot] != stale[1]
+
+
+def test_slot_reuse_parity_under_heavy_churn():
+    """Depart/rejoin churn recycles slots without disturbing parity."""
+    config = get_scenario("heavy_churn").build_config(scale=0.02)
+    assert_engine_parity(config)

@@ -11,6 +11,7 @@ from repro.scenarios import all_scenarios, get_scenario
 from repro.simulation.engine import Simulator
 from repro.simulation.kernel import (
     KERNEL_NAMES,
+    AutoCalendarKernel,
     CalendarKernel,
     EventKernel,
     HeapKernel,
@@ -22,9 +23,10 @@ from repro.errors import ConfigurationError
 
 class TestMakeKernel:
     def test_known_names(self):
-        assert set(KERNEL_NAMES) == {"heap", "calendar"}
+        assert set(KERNEL_NAMES) == {"heap", "calendar", "calendar-auto"}
         assert isinstance(make_kernel("heap"), HeapKernel)
         assert isinstance(make_kernel("calendar"), CalendarKernel)
+        assert isinstance(make_kernel("calendar-auto"), AutoCalendarKernel)
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -135,6 +137,62 @@ class TestCalendarInternals:
         assert sim.pending == len(live)
         sim.run()
         assert sim.events_processed == len(live)
+
+
+class TestAutoCalendarCalibration:
+    def test_width_is_learned_from_the_staged_entries(self):
+        kernel = AutoCalendarKernel()
+        sim = Simulator(kernel=kernel)
+        fired = []
+        # 101 events over 1000 s: span/count * 16 = 1000/101 * 16 ≈ 158.4
+        for i in range(101):
+            sim.schedule_at(i * 10.0, fired.append, i)
+        assert kernel._staged is not None  # still staging: nothing popped
+        sim.run()
+        assert kernel._staged is None
+        assert kernel._width == pytest.approx(1000.0 / 101.0 * 16.0)
+        assert fired == list(range(101))
+
+    def test_width_is_clamped(self):
+        narrow = AutoCalendarKernel()
+        sim = Simulator(kernel=narrow)
+        for i in range(100):
+            sim.schedule_at(i * 0.001, lambda _: None, None)
+        sim.run()
+        assert narrow._width == AutoCalendarKernel.MIN_BUCKET_SECONDS
+
+        wide = AutoCalendarKernel()
+        sim = Simulator(kernel=wide)
+        sim.schedule_at(0.0, lambda _: None, None)
+        sim.schedule_at(10_000_000.0, lambda _: None, None)
+        sim.run()
+        assert wide._width == AutoCalendarKernel.MAX_BUCKET_SECONDS
+
+    def test_empty_first_pop_keeps_the_default_width(self):
+        kernel = AutoCalendarKernel()
+        sim = Simulator(kernel=kernel)
+        sim.run()  # first pop with nothing staged
+        assert kernel._staged is None
+        assert kernel._width == CalendarKernel.DEFAULT_BUCKET_SECONDS
+        # the kernel keeps working after an empty calibration
+        fired = []
+        sim.schedule_at(5.0, fired.append, "later")
+        sim.run()
+        assert fired == ["later"]
+
+    def test_cancellation_during_staging(self):
+        kernel = AutoCalendarKernel()
+        sim = Simulator(kernel=kernel)
+        fired = []
+        handles = [sim.schedule_at(float(i), fired.append, i) for i in range(10)]
+        for handle in handles[:4]:
+            sim.cancel(handle)
+        sim.cancel(handles[0])  # double cancel is a no-op while staging
+        assert sim.pending == 6
+        sim.run()
+        assert fired == list(range(4, 10))
+        # cancelled staged entries never entered the buckets
+        assert kernel._dead == 0
 
 
 class TestCrossKernelEquivalence:

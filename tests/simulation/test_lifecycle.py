@@ -331,6 +331,9 @@ PRE_LIFECYCLE_FINGERPRINTS = {
     "flash_crowd": "00bbabcb63571be1c1d51ee6bc9d6aa0b40e2555292305c910c371597cedcdd9",
     "flash_crowd_100k": "25ed176ca74c3b7e64e829deb320c1fd02b28d48f485ec37f68e3007b85e05b4",
     "heavy_churn": "eee5ad5780772715afc7509701ebdc3ae63607f33c3c08f753278310a86a35ee",
+    # captured when the scenario landed (array engine; identical under
+    # engine="object" — the engines are parity-pinned)
+    "megacity_1m": "2385dad303100f755dac0e1f1e69f6d42c5041db264492c03bbb171174a4850f",
     "metropolis_100k": "7312b0f76f7a9e711a059eaf7ffe79129b0a0b55b6d9429fdfb633c84c04ee2e",
     "paper_default": "e5d056e8e3c6bcbee4171f67cd885e30448233b3b025a20f90e3c1eea0666c3d",
     "quickstart": "e5d056e8e3c6bcbee4171f67cd885e30448233b3b025a20f90e3c1eea0666c3d",
