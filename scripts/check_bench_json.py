@@ -1,182 +1,24 @@
 #!/usr/bin/env python3
-"""Validate a benchmark JSON export against its schema.
+"""CI shim for the benchmark-JSON checks in ``repro.devtools.benchcheck``.
 
-Stdlib-only checker used by the CI perf-smoke job (and available to
-users) to guarantee the benchmark export contracts stay stable.  The
-file's ``schema`` tag selects the validator:
+The schema validators live in :mod:`repro.devtools.benchcheck` and share
+the :mod:`repro.devtools.reporting` finding/exit-code conventions with
+every other repository checker.  This file only makes them runnable as
+``python scripts/check_bench_json.py PATH/TO/BENCH_file.json`` without
+any install step.
 
-* ``repro.bench_kernel_scaling.v1`` — ``bench_kernel_scaling.py``:
-  per-run throughput fields and per-scale speedup summaries;
-* ``repro.bench_engine_scaling.v1`` — ``bench_engine_scaling.py``:
-  per-engine setup/run timing splits, array-vs-object speedups and the
-  megacity end-to-end record.
-
-Usage:  python scripts/check_bench_json.py PATH/TO/BENCH_file.json
 Exit status 0 when the file conforms; 1 with a diagnostic otherwise.
 """
 
-from __future__ import annotations
-
-import json
 import sys
+from pathlib import Path
 
-KERNEL_SCHEMA = "repro.bench_kernel_scaling.v1"
-ENGINE_SCHEMA = "repro.bench_engine_scaling.v1"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-KERNEL_RUN_FIELDS = {
-    "scale": (int, float),
-    "peers": int,
-    "mode": str,
-    "engine": str,
-    "kernel": str,
-    "events": int,
-    "wall_seconds": (int, float),
-    "events_per_sec": (int, float),
-}
-KERNEL_SPEEDUP_FIELDS = {
-    "scale": (int, float),
-    "peers": int,
-    "fast_kernel": str,
-    "events_per_sec": (int, float),
-    "speedup_vs_full_heap": (int, float),
-}
+from repro.devtools.benchcheck import check_file, main  # noqa: E402
 
-ENGINE_RUN_FIELDS = {
-    "scale": (int, float),
-    "peers": int,
-    "scenario": str,
-    "engine": str,
-    "events": int,
-    "setup_seconds": (int, float),
-    "run_seconds": (int, float),
-    "wall_seconds": (int, float),
-    "events_per_sec": (int, float),
-}
-ENGINE_SPEEDUP_FIELDS = {
-    "scale": (int, float),
-    "peers": int,
-    "events_per_sec_object": (int, float),
-    "events_per_sec_array": (int, float),
-    "speedup_array_vs_object": (int, float),
-    "speedup_total_wall": (int, float),
-}
-MEGACITY_FIELDS = {
-    "scenario": str,
-    "scale": (int, float),
-    "peers": int,
-    "engine": str,
-    "completed": bool,
-    "events": int,
-    "setup_seconds": (int, float),
-    "run_seconds": (int, float),
-    "wall_seconds": (int, float),
-    "events_per_sec": (int, float),
-}
-
-
-def fail(message: str) -> None:
-    print(f"check_bench_json: FAIL: {message}", file=sys.stderr)
-    raise SystemExit(1)
-
-
-def check_fields(label: str, entry: object, fields: dict) -> None:
-    if not isinstance(entry, dict):
-        fail(f"{label} is not an object")
-    for name, types in fields.items():
-        if name not in entry:
-            fail(f"{label} missing field {name!r}")
-        value = entry[name]
-        if types is not bool and isinstance(value, bool):
-            fail(f"{label}.{name} has type bool, expected {types}")
-        if not isinstance(value, types):
-            fail(f"{label}.{name} has type {type(value).__name__}, "
-                 f"expected {types}")
-
-
-def check_common_header(data: dict) -> list:
-    """Schema-independent envelope: version, scenario, non-empty runs."""
-    if not isinstance(data.get("version"), str):
-        fail("missing version stamp")
-    if not isinstance(data.get("scenario"), str):
-        fail("missing scenario name")
-    runs = data.get("runs")
-    if not isinstance(runs, list) or not runs:
-        fail("runs must be a non-empty list")
-    return runs
-
-
-def check_kernel_scaling(data: dict) -> str:
-    runs = check_common_header(data)
-    for index, run in enumerate(runs):
-        check_fields(f"runs[{index}]", run, KERNEL_RUN_FIELDS)
-        if run["events_per_sec"] <= 0 or run["wall_seconds"] <= 0:
-            fail(f"runs[{index}] has non-positive throughput")
-        probes = run.get("probes")
-        if probes is not None and not isinstance(probes, list):
-            fail(f"runs[{index}].probes must be null or a list")
-    speedups = data.get("speedups")
-    if not isinstance(speedups, list) or not speedups:
-        fail("speedups must be a non-empty list")
-    for index, entry in enumerate(speedups):
-        check_fields(f"speedups[{index}]", entry, KERNEL_SPEEDUP_FIELDS)
-        vs_pre = entry.get("speedup_vs_pre_refactor")
-        if vs_pre is not None and (
-            isinstance(vs_pre, bool) or not isinstance(vs_pre, (int, float))
-        ):
-            fail(f"speedups[{index}].speedup_vs_pre_refactor must be "
-                 "null or numeric")
-    return f"{len(runs)} runs, {len(speedups)} speedup summaries"
-
-
-def check_engine_scaling(data: dict) -> str:
-    runs = check_common_header(data)
-    for index, run in enumerate(runs):
-        check_fields(f"runs[{index}]", run, ENGINE_RUN_FIELDS)
-        if run["engine"] not in ("object", "array"):
-            fail(f"runs[{index}].engine is {run['engine']!r}")
-        if run["events_per_sec"] <= 0 or run["run_seconds"] <= 0:
-            fail(f"runs[{index}] has non-positive throughput")
-    speedups = data.get("speedups")
-    if not isinstance(speedups, list) or not speedups:
-        fail("speedups must be a non-empty list")
-    for index, entry in enumerate(speedups):
-        check_fields(f"speedups[{index}]", entry, ENGINE_SPEEDUP_FIELDS)
-        if entry["speedup_array_vs_object"] <= 0:
-            fail(f"speedups[{index}] has non-positive speedup")
-    megacity = data.get("megacity")
-    check_fields("megacity", megacity, MEGACITY_FIELDS)
-    if megacity["engine"] != "array":
-        fail(f"megacity.engine is {megacity['engine']!r}, expected 'array'")
-    if not megacity["completed"] or megacity["events"] <= 0:
-        fail("megacity run did not complete")
-    return (f"{len(runs)} runs, {len(speedups)} speedup summaries, "
-            f"megacity at scale {megacity['scale']}")
-
-
-CHECKERS = {
-    KERNEL_SCHEMA: check_kernel_scaling,
-    ENGINE_SCHEMA: check_engine_scaling,
-}
-
-
-def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        fail("usage: check_bench_json.py PATH/TO/BENCH_file.json")
-    try:
-        data = json.loads(open(argv[1], encoding="utf-8").read())
-    except (OSError, ValueError) as exc:
-        fail(f"cannot read {argv[1]}: {exc}")
-    if not isinstance(data, dict):
-        fail("top level is not an object")
-    schema = data.get("schema")
-    checker = CHECKERS.get(schema)
-    if checker is None:
-        fail(f"schema is {schema!r}, expected one of "
-             f"{sorted(CHECKERS)}")
-    summary = checker(data)
-    print(f"check_bench_json: OK [{schema}] ({summary})")
-    return 0
-
+__all__ = ["check_file", "main"]
 
 if __name__ == "__main__":
     raise SystemExit(main(sys.argv))

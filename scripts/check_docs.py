@@ -1,243 +1,43 @@
 #!/usr/bin/env python3
-"""Validate the documentation suite: links, cross-references, docstrings.
+"""CI shim for the documentation checks in ``repro.devtools.docscheck``.
 
-Stdlib-only checker used by CI (and the tier-1 suite via
-``tests/test_docs.py``) to keep the docs from rotting:
+The actual rules — markdown links, backticked path/dotted references,
+documented CLI commands and flags, API docstrings — live in
+:mod:`repro.devtools.docscheck` and share the
+:mod:`repro.devtools.reporting` finding/exit-code conventions with every
+other repository checker.  This file only makes them runnable as
+``python scripts/check_docs.py [REPO_ROOT]`` without any install step.
 
-* every relative markdown link in ``README.md`` and ``docs/*.md``
-  resolves to an existing file;
-* every backticked repository path (``src/repro/...``,
-  ``simulation/lifecycle.py``, ...) exists — generated artifacts under
-  ``benchmarks/output``/``docs/api`` and friends are exempt;
-* every backticked dotted reference (``repro.simulation.kernel``,
-  ``repro.orchestration.run_batch``) imports, either as a module or as
-  an attribute of one;
-* every ``--flag`` mentioned on a documented ``python -m repro`` /
-  ``repro-p2pstream`` command line exists on some CLI subcommand, and
-  every documented subcommand is real;
-* every public symbol exported by ``repro.__all__`` and every public
-  module has a docstring, so the ``pdoc`` API reference renders without
-  blank pages.
-
-Usage:  python scripts/check_docs.py [REPO_ROOT]
 Exit status 0 when everything checks out; 1 with diagnostics otherwise.
 """
 
-from __future__ import annotations
-
-import importlib
-import importlib.util
-import inspect
-import pkgutil
-import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-#: markdown files the checker owns
-DOC_FILES = ("README.md", "docs/ARCHITECTURE.md", "docs/EXPERIMENTS.md")
-
-#: path prefixes that are generated at runtime, not committed
-GENERATED_PREFIXES = (
-    "benchmarks/output",
-    "docs/api",
-    "cache",
-    "results",
+from repro.devtools.docscheck import (  # noqa: E402
+    check_api_docstrings,
+    check_cli_references,
+    check_markdown,
+    cli_vocabulary,
+    documented_cli_lines,
+    dotted_reference_resolves,
+    iter_doc_files,
+    main,
 )
 
-_LINK = re.compile(r"\[[^\]]*\]\(([^)#][^)]*)\)")
-_CODE = re.compile(r"`([^`]+)`")
-_PATHLIKE = re.compile(r"^[\w./-]+\.(py|md|json|txt|yml)$")
-_DOTTED = re.compile(r"^repro(\.\w+)+$")
-_FLAG = re.compile(r"--[a-z][a-z0-9-]*")
-
-
-def iter_doc_files(root: Path):
-    for name in DOC_FILES:
-        path = root / name
-        if path.exists():
-            yield path
-
-
-def is_generated(path_text: str) -> bool:
-    return any(path_text.startswith(prefix) for prefix in GENERATED_PREFIXES)
-
-
-def resolve_repo_path(root: Path, doc: Path, text: str) -> bool:
-    """A backticked or linked path may be repo-rooted, package-rooted or
-    doc-relative."""
-    candidates = [root / text, root / "src" / "repro" / text, doc.parent / text]
-    return any(candidate.exists() for candidate in candidates)
-
-
-def check_markdown(root: Path) -> list[str]:
-    problems: list[str] = []
-    for doc in iter_doc_files(root):
-        text = doc.read_text(encoding="utf-8")
-        relative = doc.relative_to(root)
-        for match in _LINK.finditer(text):
-            target = match.group(1).strip()
-            if target.startswith(("http://", "https://", "mailto:")):
-                continue
-            target = target.split("#", 1)[0]
-            if not target or is_generated(target):
-                continue
-            if not resolve_repo_path(root, doc, target):
-                problems.append(f"{relative}: broken link target {target!r}")
-        for match in _CODE.finditer(text):
-            token = match.group(1).strip()
-            if _PATHLIKE.match(token) and "/" in token:
-                if is_generated(token):
-                    continue
-                if not resolve_repo_path(root, doc, token):
-                    problems.append(
-                        f"{relative}: referenced path {token!r} does not exist"
-                    )
-            elif _DOTTED.match(token):
-                if not dotted_reference_resolves(token):
-                    problems.append(
-                        f"{relative}: dotted reference {token!r} does not "
-                        "import"
-                    )
-    return problems
-
-
-def dotted_reference_resolves(dotted: str) -> bool:
-    """True when ``dotted`` is an importable module or a module attribute."""
-    try:
-        if importlib.util.find_spec(dotted) is not None:
-            return True
-    except (ImportError, ModuleNotFoundError, ValueError):
-        pass
-    module_name, _, attribute = dotted.rpartition(".")
-    try:
-        module = importlib.import_module(module_name)
-    except ImportError:
-        return False
-    return hasattr(module, attribute)
-
-
-def cli_vocabulary() -> tuple[set[str], set[str]]:
-    """The CLI's real subcommands and the union of their option strings."""
-    import argparse
-
-    from repro.cli import build_parser
-
-    parser = build_parser()
-    commands: set[str] = set()
-    flags: set[str] = set()
-    for action in parser._actions:
-        if isinstance(action, argparse._SubParsersAction):
-            for name, sub in action.choices.items():
-                commands.add(name)
-                for sub_action in sub._actions:
-                    flags.update(
-                        opt for opt in sub_action.option_strings
-                        if opt.startswith("--")
-                    )
-    return commands, flags
-
-
-def documented_cli_lines(text: str) -> list[str]:
-    """Command lines invoking the CLI, with backslash continuations joined."""
-    lines: list[str] = []
-    pending: str | None = None
-    for raw in text.splitlines():
-        line = raw.strip()
-        if pending is not None:
-            pending = pending.rstrip("\\") + " " + line
-            if not line.endswith("\\"):
-                lines.append(pending)
-                pending = None
-            continue
-        if "python -m repro " in line or "repro-p2pstream " in line:
-            if line.endswith("\\"):
-                pending = line
-            else:
-                lines.append(line)
-    if pending is not None:
-        lines.append(pending)
-    return lines
-
-
-def check_cli_references(root: Path) -> list[str]:
-    problems: list[str] = []
-    commands, flags = cli_vocabulary()
-    for doc in iter_doc_files(root):
-        relative = doc.relative_to(root)
-        for line in documented_cli_lines(doc.read_text(encoding="utf-8")):
-            if "python -m repro " in line:
-                tail = line.split("python -m repro ", 1)[1]
-            else:
-                tail = line.split("repro-p2pstream ", 1)[1]
-            words = tail.split()
-            if words and not words[0].startswith("-"):
-                command = words[0]
-                if command not in commands:
-                    problems.append(
-                        f"{relative}: documented command {command!r} is not a "
-                        f"CLI subcommand (known: {', '.join(sorted(commands))})"
-                    )
-            for flag in _FLAG.findall(line):
-                if flag not in flags:
-                    problems.append(
-                        f"{relative}: documented flag {flag!r} exists on no "
-                        "CLI subcommand"
-                    )
-    return problems
-
-
-def check_api_docstrings() -> list[str]:
-    problems: list[str] = []
-    import repro
-
-    for name in repro.__all__:
-        obj = getattr(repro, name, None)
-        if obj is None:
-            problems.append(f"repro.__all__ exports missing symbol {name!r}")
-            continue
-        if not (inspect.isclass(obj) or callable(obj)):
-            continue  # data exports (version string, name tuples)
-        if not inspect.getdoc(obj):
-            problems.append(f"repro.{name} has no docstring")
-            continue
-        if inspect.isclass(obj):
-            for member_name, member in vars(obj).items():
-                if member_name.startswith("_"):
-                    continue
-                target = member.fget if isinstance(member, property) else member
-                if callable(target) and not inspect.getdoc(target):
-                    problems.append(
-                        f"repro.{name}.{member_name} has no docstring"
-                    )
-    for module_info in pkgutil.walk_packages(repro.__path__, "repro."):
-        if module_info.name.endswith("__main__"):
-            continue  # importing it would run the CLI
-        module = importlib.import_module(module_info.name)
-        if not module.__doc__:
-            problems.append(f"module {module_info.name} has no docstring")
-    return problems
-
-
-def main(argv: list[str]) -> int:
-    root = Path(argv[1]).resolve() if len(argv) > 1 else REPO_ROOT
-    sys.path.insert(0, str(root / "src"))
-    problems = (
-        check_markdown(root)
-        + check_cli_references(root)
-        + check_api_docstrings()
-    )
-    if problems:
-        for problem in problems:
-            print(f"check_docs: FAIL: {problem}", file=sys.stderr)
-        return 1
-    print(
-        f"check_docs: ok ({len(list(iter_doc_files(root)))} documents, "
-        "links + CLI references + API docstrings)"
-    )
-    return 0
-
+__all__ = [
+    "check_api_docstrings",
+    "check_cli_references",
+    "check_markdown",
+    "cli_vocabulary",
+    "documented_cli_lines",
+    "dotted_reference_resolves",
+    "iter_doc_files",
+    "main",
+]
 
 if __name__ == "__main__":
     raise SystemExit(main(sys.argv))

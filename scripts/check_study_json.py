@@ -1,97 +1,24 @@
 #!/usr/bin/env python3
-"""Validate a ``repro study --export json`` file against the record schema.
+"""CI shim for the study-export checks in ``repro.devtools.studycheck``.
 
-Stdlib-only checker used by CI (and available to users) to guarantee the
-export contract stays stable: schema tag, version stamp, and for every
-record the provenance, scalar and metrics fields downstream tooling
-relies on.
+The schema validators live in :mod:`repro.devtools.studycheck` and share
+the :mod:`repro.devtools.reporting` finding/exit-code conventions with
+every other repository checker.  This file only makes them runnable as
+``python scripts/check_study_json.py PATH/TO/study.json`` without any
+install step.
 
-Usage:  python scripts/check_study_json.py PATH/TO/study.json
 Exit status 0 when the file conforms; 1 with a diagnostic otherwise.
 """
 
-from __future__ import annotations
-
-import json
 import sys
+from pathlib import Path
 
-EXPECTED_SCHEMA = "repro.study.v1"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-RECORD_FIELDS = {
-    "spec_hash": str,
-    "config": dict,
-    "scalars": dict,
-    "metrics": dict,
-    "events_processed": int,
-    "wall_seconds": (int, float),
-    "version": str,
-    "axes": list,
-}
-REQUIRED_SCALARS = ("final_capacity", "max_capacity", "capacity_fraction_of_max")
-REQUIRED_METRIC_SERIES = ("capacity_series", "overall_admission_rate_series")
-REQUIRED_CONFIG_FIELDS = ("protocol", "master_seed", "arrival_pattern")
+from repro.devtools.studycheck import check_file, main  # noqa: E402
 
-
-def fail(message: str) -> None:
-    print(f"check_study_json: FAIL: {message}", file=sys.stderr)
-    raise SystemExit(1)
-
-
-def check_record(index: int, record: object) -> None:
-    if not isinstance(record, dict):
-        fail(f"records[{index}] is not an object")
-    for name, types in RECORD_FIELDS.items():
-        if name not in record:
-            fail(f"records[{index}] missing field {name!r}")
-        if not isinstance(record[name], types):
-            fail(f"records[{index}].{name} has type "
-                 f"{type(record[name]).__name__}, expected {types}")
-    spec_hash = record["spec_hash"]
-    if len(spec_hash) != 64 or set(spec_hash) - set("0123456789abcdef"):
-        fail(f"records[{index}].spec_hash is not a sha256 hex digest")
-    for name in REQUIRED_CONFIG_FIELDS:
-        if name not in record["config"]:
-            fail(f"records[{index}].config missing {name!r}")
-    for name in REQUIRED_SCALARS:
-        if not isinstance(record["scalars"].get(name), (int, float)):
-            fail(f"records[{index}].scalars.{name} missing or non-numeric")
-    for name in REQUIRED_METRIC_SERIES:
-        series = record["metrics"].get(name)
-        if not isinstance(series, list):
-            fail(f"records[{index}].metrics.{name} missing or not a list")
-        for point in series:
-            if not (isinstance(point, list) and len(point) == 2):
-                fail(f"records[{index}].metrics.{name} has a malformed "
-                     f"sample: {point!r}")
-
-
-def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        fail("usage: check_study_json.py PATH/TO/study.json")
-    try:
-        with open(argv[1], encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except OSError as exc:
-        fail(f"cannot read {argv[1]}: {exc}")
-    except ValueError as exc:
-        fail(f"{argv[1]} is not valid JSON: {exc}")
-    if not isinstance(payload, dict):
-        fail("top level is not an object")
-    if payload.get("schema") != EXPECTED_SCHEMA:
-        fail(f"schema is {payload.get('schema')!r}, expected {EXPECTED_SCHEMA!r}")
-    if not isinstance(payload.get("version"), str):
-        fail("version stamp missing or not a string")
-    records = payload.get("records")
-    if not isinstance(records, list) or not records:
-        fail("records missing, not a list, or empty")
-    if payload.get("count") != len(records):
-        fail(f"count={payload.get('count')!r} but {len(records)} records")
-    for index, record in enumerate(records):
-        check_record(index, record)
-    print(f"check_study_json: ok — {len(records)} record(s), "
-          f"version {payload['version']}")
-    return 0
-
+__all__ = ["check_file", "main"]
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    raise SystemExit(main(sys.argv))

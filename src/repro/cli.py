@@ -30,6 +30,14 @@ Commands
     ``repro-p2pstream assignment 1 2 3 3``.
 ``patterns``
     Show the four arrival patterns as ASCII histograms.
+``lint``
+    detlint — the AST-based determinism & invariant analyzer
+    (:mod:`repro.devtools.staticcheck`): checks the RNG-injection
+    discipline, the wall-clock ban, unordered-iteration hazards, the
+    ``config_hash`` exclusion allowlist, hot-path ``__slots__`` and the
+    public-export surface.  ``--rules`` selects a subset,
+    ``--list-rules`` names them, ``--baseline``/``--write-baseline``
+    manage a known-findings file.
 
 Simulation commands pick their workload with ``--scenario NAME`` (see
 ``scenarios``) or the legacy ``--pattern N`` shorthand, and accept
@@ -267,6 +275,25 @@ def build_parser() -> argparse.ArgumentParser:
     pat_p = sub.add_parser("patterns", help="show the arrival patterns")
     pat_p.add_argument("--peers", type=int, default=5000)
     pat_p.add_argument("--window-hours", type=float, default=72.0)
+
+    lint_p = sub.add_parser(
+        "lint", help="detlint: determinism & invariant static analysis"
+    )
+    lint_p.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                        help="files or directories to lint, relative to "
+                             "--root (default: src benchmarks examples)")
+    lint_p.add_argument("--root", default=".",
+                        help="repository root (default: current directory)")
+    lint_p.add_argument("--rules", nargs="+", default=None, metavar="RULE",
+                        help="run only these rules (default: all)")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="list the available rules and exit")
+    lint_p.add_argument("--format", choices=["text", "json"], default="text",
+                        help="finding output format (default text)")
+    lint_p.add_argument("--baseline", default=None, metavar="FILE",
+                        help="JSON baseline of known findings to tolerate")
+    lint_p.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="write current findings as a baseline, exit 0")
 
     exp_p = sub.add_parser(
         "experiment", help="regenerate one paper table/figure by id"
@@ -642,6 +669,21 @@ def _cmd_patterns(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # deferred so ordinary simulation commands never import the devtools
+    from repro.devtools.staticcheck.cli import run as detlint_run
+
+    return detlint_run(
+        args.paths or None,
+        root=args.root,
+        rules=args.rules,
+        list_rules=args.list_rules,
+        output_format=args.format,
+        baseline=args.baseline,
+        write_baseline_path=args.write_baseline,
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import list_experiments, run_experiment
 
@@ -667,6 +709,7 @@ _COMMANDS = {
     "perf": _cmd_perf,
     "assignment": _cmd_assignment,
     "patterns": _cmd_patterns,
+    "lint": _cmd_lint,
     "experiment": _cmd_experiment,
 }
 

@@ -1,0 +1,94 @@
+"""Shared finding/exit-code conventions for every repository checker.
+
+All the guards this repository runs in CI — the docs checker, the
+benchmark/study JSON schema checkers, and the ``detlint`` static
+analyzer — report through one vocabulary: a flat, sortable
+:class:`Finding` (file, line, rule, message, severity) and one exit-code
+convention (0 = clean, 1 = at least one error-severity finding, 2 =
+usage error).  Centralizing the conventions keeps every checker's output
+greppable the same way and lets ``tests`` assert on structured findings
+instead of scraping stderr text.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import IO, Iterable, Sequence
+
+__all__ = [
+    "Finding",
+    "SEVERITIES",
+    "exit_code",
+    "print_findings",
+    "report",
+]
+
+#: recognized severities, most severe first; only "error" affects exit codes
+SEVERITIES: tuple[str, ...] = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One problem a checker found, anchored to a file location.
+
+    ``file`` is repository-relative (posix separators), ``line`` is
+    1-based (0 when the finding concerns the file as a whole — e.g. a
+    malformed JSON export), ``rule`` is the stable machine-readable rule
+    id tools and suppressions refer to, and ``severity`` is one of
+    :data:`SEVERITIES`.
+    """
+
+    file: str
+    line: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        """The canonical one-line rendering: ``file:line: [rule] message``."""
+        location = f"{self.file}:{self.line}" if self.line else self.file
+        tag = f"[{self.rule}]" if self.severity == "error" else f"[{self.rule}!]"
+        return f"{location}: {tag} {self.message}"
+
+
+def exit_code(findings: Iterable[Finding]) -> int:
+    """0 when no finding has error severity, 1 otherwise."""
+    return 1 if any(f.severity == "error" for f in findings) else 0
+
+
+def print_findings(
+    findings: Sequence[Finding], stream: IO[str] | None = None
+) -> None:
+    """Write each finding's canonical line to ``stream`` (default stderr)."""
+    stream = stream if stream is not None else sys.stderr
+    for finding in sorted(findings):
+        print(finding.format(), file=stream)
+
+
+def report(
+    tool: str,
+    findings: Sequence[Finding],
+    *,
+    ok_detail: str = "",
+    stream: IO[str] | None = None,
+) -> int:
+    """Print findings plus a one-line summary; return the exit code.
+
+    This is the whole tail of a checker's ``main``: findings (if any) go
+    to ``stream``/stderr, the summary line is prefixed with the tool
+    name, and the returned value follows the shared exit-code
+    convention.
+    """
+    stream = stream if stream is not None else sys.stderr
+    code = exit_code(findings)
+    if findings:
+        print_findings(findings, stream=stream)
+        errors = sum(1 for f in findings if f.severity == "error")
+        warnings = len(findings) - errors
+        tail = f" and {warnings} warning(s)" if warnings else ""
+        print(f"{tool}: {errors} error(s){tail}", file=stream)
+    else:
+        detail = f" ({ok_detail})" if ok_detail else ""
+        print(f"{tool}: ok{detail}")
+    return code

@@ -1,0 +1,8 @@
+"""``python -m repro.devtools.staticcheck`` — run detlint directly."""
+
+import sys
+
+from repro.devtools.staticcheck.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - thin module runner
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""The detlint command line, shared by ``repro lint`` and ``-m`` runs.
+
+``python -m repro.devtools.staticcheck [PATHS...]`` (or the ``repro
+lint`` subcommand, which forwards here) walks the selected paths from
+the repository root, runs every rule in scope, and exits 0 when clean,
+1 when any unsuppressed error-severity finding survives, 2 on usage
+errors — the shared convention of :mod:`repro.devtools.reporting`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json as _json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.reporting import report
+from repro.devtools.staticcheck.framework import (
+    load_baseline,
+    run_detlint,
+    write_baseline,
+)
+from repro.devtools.staticcheck.rules import all_checkers
+
+__all__ = ["build_parser", "main", "run"]
+
+#: the paths a bare invocation lints (the acceptance surface)
+DEFAULT_PATHS: tuple[str, ...] = ("src", "benchmarks", "examples")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the detlint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "detlint: AST-based determinism & invariant analysis "
+            "(no-global-rng, no-wallclock, no-unordered-iteration, "
+            "config-hash-drift, slots-hotpath, export-sync)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint, relative to --root "
+             f"(default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root the paths and rule anchors are relative to "
+             "(default: the current directory)",
+    )
+    parser.add_argument(
+        "--rules", nargs="+", default=None, metavar="RULE",
+        help="run only these rules (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the available rules and exit",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="finding output format (default text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="JSON baseline of known findings to tolerate",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write the current findings as a baseline file and exit 0",
+    )
+    return parser
+
+
+def run(
+    paths: Sequence[str] | None = None,
+    *,
+    root: str = ".",
+    rules: Sequence[str] | None = None,
+    list_rules: bool = False,
+    output_format: str = "text",
+    baseline: str | None = None,
+    write_baseline_path: str | None = None,
+) -> int:
+    """Execute a lint run; returns the process exit code."""
+    try:
+        checkers = all_checkers(rules)
+    except ValueError as exc:
+        print(f"detlint: error: {exc}", file=sys.stderr)
+        return 2
+    if list_rules:
+        for checker in sorted(checkers, key=lambda c: c.rule):
+            print(f"{checker.rule}: {checker.description}")
+        return 0
+    root_path = Path(root).resolve()
+    known: set[tuple[str, str, str]] | None = None
+    if baseline:
+        try:
+            known = load_baseline(Path(baseline))
+        except (OSError, ValueError) as exc:
+            print(f"detlint: error: {exc}", file=sys.stderr)
+            return 2
+    findings = run_detlint(
+        root_path, paths=paths or list(DEFAULT_PATHS),
+        checkers=checkers, baseline=known,
+    )
+    if write_baseline_path:
+        write_baseline(Path(write_baseline_path), findings)
+        print(
+            f"detlint: wrote baseline with {len(findings)} finding(s) "
+            f"to {write_baseline_path}"
+        )
+        return 0
+    if output_format == "json":
+        payload = [
+            {
+                "file": f.file, "line": f.line, "rule": f.rule,
+                "message": f.message, "severity": f.severity,
+            }
+            for f in findings
+        ]
+        print(_json.dumps(payload, indent=2))
+        return 1 if any(f.severity == "error" for f in findings) else 0
+    scanned = " ".join(paths or DEFAULT_PATHS)
+    return report(
+        "detlint", findings,
+        ok_detail=f"{len(checkers)} rule(s) over {scanned}",
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.devtools.staticcheck``."""
+    args = build_parser().parse_args(argv)
+    return run(
+        args.paths or None,
+        root=args.root,
+        rules=args.rules,
+        list_rules=args.list_rules,
+        output_format=args.format,
+        baseline=args.baseline,
+        write_baseline_path=args.write_baseline,
+    )

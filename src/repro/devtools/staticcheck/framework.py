@@ -1,0 +1,300 @@
+"""The detlint checker harness: sources, scoping, suppressions, baseline.
+
+The framework knows nothing about the project's specific contracts; it
+provides the machinery every rule shares:
+
+* :class:`ModuleSource` — a parsed Python file (text, AST, suppression
+  table) handed to per-module checkers;
+* the :class:`Checker` / :class:`ProjectChecker` protocols — per-module
+  AST rules versus whole-repository cross-checks (a project rule reads
+  several files at once, e.g. comparing ``SimulationConfig`` fields with
+  the hash-exclusion allowlist);
+* :class:`RuleScope` — per-path rule configuration as include/exclude
+  repository-relative prefixes, so e.g. wall-clock reads are banned in
+  ``src/repro/simulation`` but fine in ``benchmarks``;
+* inline suppressions — a ``# detlint: ignore[rule]`` (or a bare
+  ``# detlint: ignore``) comment on the flagged line silences it;
+* an optional JSON baseline file of known findings, so the linter can be
+  adopted on a tree with historic debt and still fail on anything new;
+* :func:`run_detlint` — walk the selected paths, run every applicable
+  checker, and return the surviving findings sorted.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.devtools.reporting import Finding
+
+__all__ = [
+    "Checker",
+    "ModuleSource",
+    "ProjectChecker",
+    "RuleScope",
+    "load_baseline",
+    "load_module",
+    "parse_suppressions",
+    "run_detlint",
+    "write_baseline",
+]
+
+#: directories never scanned (generated output, caches, VCS internals)
+SKIP_DIR_NAMES = frozenset(
+    {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", "output", "api"}
+)
+
+#: ``# detlint: ignore`` or ``# detlint: ignore[rule-a,rule-b]``
+_SUPPRESSION = re.compile(
+    r"#\s*detlint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\- ]+)\])?"
+)
+
+#: the file-level baseline schema tag
+BASELINE_SCHEMA = "repro.detlint.baseline.v1"
+
+
+@dataclass(frozen=True)
+class RuleScope:
+    """Where a rule applies, as repository-relative path prefixes.
+
+    A module is in scope when its posix relative path starts with any
+    ``include`` prefix and with no ``exclude`` prefix.  The default
+    scope (empty include prefix) matches everything scanned.
+    """
+
+    include: tuple[str, ...] = ("",)
+    exclude: tuple[str, ...] = ()
+
+    def applies(self, relpath: str) -> bool:
+        """True when ``relpath`` falls under this scope."""
+        if any(relpath.startswith(prefix) for prefix in self.exclude):
+            return False
+        return any(relpath.startswith(prefix) for prefix in self.include)
+
+
+@dataclass(frozen=True)
+class ModuleSource:
+    """One parsed Python source file, ready for per-module checkers."""
+
+    path: Path
+    relpath: str
+    text: str
+    tree: ast.Module
+    #: line -> suppressed rule ids; ``None`` value = every rule suppressed
+    suppressions: dict[int, frozenset[str] | None] = field(default_factory=dict)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        """True when ``rule`` is silenced on ``line`` by an inline comment."""
+        if line not in self.suppressions:
+            return False
+        rules = self.suppressions[line]
+        return rules is None or rule in rules
+
+
+@runtime_checkable
+class Checker(Protocol):
+    """A per-module rule: inspect one parsed file, yield findings."""
+
+    rule: str
+    description: str
+    scope: RuleScope
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        """Findings for ``module`` (already known to be in scope)."""
+        ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class ProjectChecker(Protocol):
+    """A whole-repository rule cross-checking several files at once.
+
+    ``anchors`` names the repository-relative files the rule reads; the
+    rule runs when at least one anchor falls under the selected paths.
+    """
+
+    rule: str
+    description: str
+    anchors: tuple[str, ...]
+
+    def check_project(self, root: Path) -> Iterable[Finding]:
+        """Findings for the tree rooted at ``root``."""
+        ...  # pragma: no cover - protocol
+
+
+def parse_suppressions(text: str) -> dict[int, frozenset[str] | None]:
+    """The per-line suppression table of a source file.
+
+    Keys are 1-based line numbers carrying a ``# detlint: ignore``
+    comment; the value is the frozenset of silenced rule ids, or ``None``
+    when the bare form silences every rule on that line.
+    """
+    table: dict[int, frozenset[str] | None] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESSION.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[number] = None
+        else:
+            table[number] = frozenset(
+                name.strip() for name in rules.split(",") if name.strip()
+            )
+    return table
+
+
+def load_module(root: Path, path: Path) -> ModuleSource | Finding:
+    """Parse ``path`` into a :class:`ModuleSource`.
+
+    A file that cannot be read or parsed returns a ``parse-error``
+    finding instead — a broken file must fail the lint run, not dodge it.
+    """
+    relpath = path.relative_to(root).as_posix()
+    try:
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", 0) or 0
+        return Finding(
+            file=relpath, line=line, rule="parse-error", message=str(exc)
+        )
+    return ModuleSource(
+        path=path,
+        relpath=relpath,
+        text=text,
+        tree=tree,
+        suppressions=parse_suppressions(text),
+    )
+
+
+def iter_python_files(root: Path, paths: Sequence[str]) -> list[Path]:
+    """Every ``.py`` file under the selected paths, skipping generated dirs."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for selector in paths:
+        target = root / selector
+        if target.is_file() and target.suffix == ".py":
+            candidates: Iterable[Path] = [target]
+        elif target.is_dir():
+            candidates = sorted(target.rglob("*.py"))
+        else:
+            continue
+        for candidate in candidates:
+            relative = candidate.relative_to(root)
+            if any(part in SKIP_DIR_NAMES for part in relative.parts[:-1]):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                ordered.append(candidate)
+    return ordered
+
+
+def _covered(relpath: str, paths: Sequence[str]) -> bool:
+    """True when ``relpath`` lies under one of the selected paths."""
+    for selector in paths:
+        prefix = selector.rstrip("/")
+        if relpath == prefix or relpath.startswith(prefix + "/"):
+            return True
+    return False
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    """The ``(file, rule, message)`` triples a baseline file accepts."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path} is not a detlint baseline (schema "
+            f"{data.get('schema')!r}, expected {BASELINE_SCHEMA!r})"
+        )
+    return {
+        (entry["file"], entry["rule"], entry["message"])
+        for entry in data.get("findings", [])
+    }
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as a baseline accepting exactly these problems."""
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {"file": f.file, "rule": f.rule, "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def _suppression_table_for(
+    root: Path, relpath: str, cache: dict[str, dict[int, frozenset[str] | None]]
+) -> dict[int, frozenset[str] | None]:
+    """Suppressions of an arbitrary finding target, loaded lazily."""
+    if relpath not in cache:
+        target = root / relpath
+        try:
+            text = target.read_text(encoding="utf-8")
+        except OSError:
+            text = ""
+        cache[relpath] = parse_suppressions(text)
+    return cache[relpath]
+
+
+def run_detlint(
+    root: Path,
+    paths: Sequence[str] | None = None,
+    checkers: Sequence[Checker | ProjectChecker] | None = None,
+    baseline: set[tuple[str, str, str]] | None = None,
+) -> list[Finding]:
+    """Run every applicable checker over the selected paths.
+
+    ``paths`` are repository-relative files or directories (default:
+    ``src``, ``benchmarks``, ``examples``).  Per-module checkers see the
+    files their :class:`RuleScope` admits; project checkers run when one
+    of their anchor files is covered.  Inline suppressions and baseline
+    entries are filtered out before the sorted findings return.
+    """
+    from repro.devtools.staticcheck.rules import all_checkers
+
+    root = root.resolve()
+    paths = list(paths) if paths else ["src", "benchmarks", "examples"]
+    active = list(checkers) if checkers is not None else all_checkers()
+    module_checkers = [c for c in active if hasattr(c, "check_module")]
+    project_checkers = [c for c in active if hasattr(c, "check_project")]
+
+    findings: list[Finding] = []
+    suppression_cache: dict[str, dict[int, frozenset[str] | None]] = {}
+    for path in iter_python_files(root, paths):
+        loaded = load_module(root, path)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+            continue
+        suppression_cache[loaded.relpath] = loaded.suppressions
+        for checker in module_checkers:
+            if not checker.scope.applies(loaded.relpath):
+                continue
+            for finding in checker.check_module(loaded):
+                if not loaded.suppressed(finding.line, finding.rule):
+                    findings.append(finding)
+
+    for checker in project_checkers:
+        if not any(_covered(anchor, paths) for anchor in checker.anchors):
+            continue
+        for finding in checker.check_project(root):
+            table = _suppression_table_for(root, finding.file, suppression_cache)
+            rules = table.get(finding.line, ())
+            if finding.line in table and (
+                rules is None or finding.rule in rules
+            ):
+                continue
+            findings.append(finding)
+
+    if baseline:
+        findings = [
+            f
+            for f in findings
+            if (f.file, f.rule, f.message) not in baseline
+        ]
+    return sorted(findings)

@@ -1,0 +1,114 @@
+"""Study-export schema checks behind ``scripts/check_study_json.py``.
+
+Validates a ``repro study --export json`` file against the record
+schema so the export contract stays stable: schema tag, version stamp,
+and for every record the provenance, scalar and metrics fields
+downstream tooling relies on.  Problems surface as
+:class:`~repro.devtools.reporting.Finding` objects; the first schema
+violation stops the walk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devtools.reporting import Finding, report
+
+__all__ = ["SchemaProblem", "check_file", "main"]
+
+EXPECTED_SCHEMA = "repro.study.v1"
+
+RECORD_FIELDS = {
+    "spec_hash": str,
+    "config": dict,
+    "scalars": dict,
+    "metrics": dict,
+    "events_processed": int,
+    "wall_seconds": (int, float),
+    "version": str,
+    "axes": list,
+}
+REQUIRED_SCALARS = ("final_capacity", "max_capacity", "capacity_fraction_of_max")
+REQUIRED_METRIC_SERIES = ("capacity_series", "overall_admission_rate_series")
+REQUIRED_CONFIG_FIELDS = ("protocol", "master_seed", "arrival_pattern")
+
+
+class SchemaProblem(ValueError):
+    """A study export violates the record schema."""
+
+
+def _fail(message: str) -> None:
+    raise SchemaProblem(message)
+
+
+def _check_record(index: int, record: object) -> None:
+    if not isinstance(record, dict):
+        _fail(f"records[{index}] is not an object")
+    for name, types in RECORD_FIELDS.items():
+        if name not in record:
+            _fail(f"records[{index}] missing field {name!r}")
+        if not isinstance(record[name], types):
+            _fail(f"records[{index}].{name} has type "
+                  f"{type(record[name]).__name__}, expected {types}")
+    spec_hash = record["spec_hash"]
+    if len(spec_hash) != 64 or set(spec_hash) - set("0123456789abcdef"):
+        _fail(f"records[{index}].spec_hash is not a sha256 hex digest")
+    for name in REQUIRED_CONFIG_FIELDS:
+        if name not in record["config"]:
+            _fail(f"records[{index}].config missing {name!r}")
+    for name in REQUIRED_SCALARS:
+        if not isinstance(record["scalars"].get(name), (int, float)):
+            _fail(f"records[{index}].scalars.{name} missing or non-numeric")
+    for name in REQUIRED_METRIC_SERIES:
+        series = record["metrics"].get(name)
+        if not isinstance(series, list):
+            _fail(f"records[{index}].metrics.{name} missing or not a list")
+        for point in series:
+            if not (isinstance(point, list) and len(point) == 2):
+                _fail(f"records[{index}].metrics.{name} has a malformed "
+                      f"sample: {point!r}")
+
+
+def check_file(path: Path) -> tuple[list[Finding], str]:
+    """Validate one study export; findings plus an ok-summary string."""
+
+    def finding(message: str) -> tuple[list[Finding], str]:
+        return [Finding(
+            file=str(path), line=0, rule="study-schema", message=message
+        )], ""
+
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        return finding(f"cannot read {path}: {exc}")
+    except ValueError as exc:
+        return finding(f"{path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        return finding("top level is not an object")
+    if payload.get("schema") != EXPECTED_SCHEMA:
+        return finding(f"schema is {payload.get('schema')!r}, expected "
+                       f"{EXPECTED_SCHEMA!r}")
+    if not isinstance(payload.get("version"), str):
+        return finding("version stamp missing or not a string")
+    records = payload.get("records")
+    if not isinstance(records, list) or not records:
+        return finding("records missing, not a list, or empty")
+    if payload.get("count") != len(records):
+        return finding(f"count={payload.get('count')!r} but "
+                       f"{len(records)} records")
+    try:
+        for index, record in enumerate(records):
+            _check_record(index, record)
+    except SchemaProblem as exc:
+        return finding(str(exc))
+    return [], f"{len(records)} record(s), version {payload['version']}"
+
+
+def main(argv: list[str]) -> int:
+    """Validate the study JSON file named on the command line."""
+    if len(argv) != 2:
+        print("usage: check_study_json.py PATH/TO/study.json")
+        return 2
+    findings, summary = check_file(Path(argv[1]))
+    return report("check_study_json", findings, ok_detail=summary)

@@ -23,10 +23,37 @@ from functools import cached_property
 
 from repro.simulation.config import SimulationConfig
 
-__all__ = ["RunSpec", "config_to_dict", "config_from_dict", "config_hash"]
+__all__ = [
+    "HASH_EXCLUDED_FIELDS",
+    "RunSpec",
+    "config_to_dict",
+    "config_from_dict",
+    "config_hash",
+]
 
 #: config fields whose values are per-class dicts (int keys, stringified in JSON)
 _CLASS_KEYED_FIELDS = ("seed_suppliers", "requesting_peers")
+
+#: The documented allowlist of :class:`SimulationConfig` fields that
+#: :func:`config_hash` deliberately leaves out of the cache key, each with
+#: the rationale for why excluding it cannot change measurements.  This is
+#: the single source of truth humans read; the executable pops inside
+#: :func:`config_hash` are kept literal on purpose, and the detlint
+#: ``config-hash-drift`` rule fails the build whenever the two drift apart
+#: (an entry without a pop, a pop without an entry, a stale field name, or
+#: an empty rationale).
+HASH_EXCLUDED_FIELDS: dict[str, str] = {
+    "kernel": (
+        "event kernels are dispatch-order-identical by contract (see "
+        "repro.simulation.kernel), so runs differing only in kernel "
+        "produce the same measurements and share one cache entry"
+    ),
+    "engine": (
+        "the array engine is parity-pinned against the object engine "
+        "(see repro.simulation.arrayengine), so runs differing only in "
+        "engine produce the same measurements and share one cache entry"
+    ),
+}
 
 
 def config_to_dict(config: SimulationConfig) -> dict:
@@ -48,12 +75,12 @@ def config_from_dict(data: dict) -> SimulationConfig:
 def config_hash(config: SimulationConfig) -> str:
     """Stable SHA-256 hex digest of a configuration's canonical JSON.
 
-    The ``kernel`` and ``engine`` fields are excluded: event kernels are
-    dispatch-order-identical by contract (see
-    :mod:`repro.simulation.kernel`) and the array engine is parity-pinned
-    against the object engine (see :mod:`repro.simulation.arrayengine`),
-    so runs differing only in kernel or engine produce the same
-    measurements and deliberately share one cache entry.
+    The fields listed in :data:`HASH_EXCLUDED_FIELDS` are excluded (see
+    the per-field rationales there): runs differing only in those fields
+    produce the same measurements and deliberately share one cache
+    entry.  The pops below stay literal — not a loop over the constant —
+    so the exclusion set is auditable at a glance; the detlint
+    ``config-hash-drift`` rule keeps them and the allowlist in sync.
     """
     data = config_to_dict(config)
     data.pop("kernel", None)

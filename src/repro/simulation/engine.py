@@ -55,6 +55,8 @@ class Simulator:
     5.0
     """
 
+    __slots__ = ("now", "kernel", "_sequence", "events_processed")
+
     #: back-compat alias for the heap kernel's compaction threshold
     COMPACT_MIN_SIZE = HeapKernel.COMPACT_MIN_SIZE
 

@@ -1,0 +1,48 @@
+"""The hash-exclusion allowlist behaves as documented, not just as linted.
+
+The detlint ``config-hash-drift`` rule pins the *static* agreement
+between ``HASH_EXCLUDED_FIELDS`` and ``config_hash``; these tests pin
+the *dynamic* claim each rationale makes — excluded fields really do
+not move the hash, and every other field really does.
+"""
+
+import dataclasses
+
+from repro.orchestration.runspec import HASH_EXCLUDED_FIELDS, config_hash
+from repro.simulation.config import SimulationConfig
+
+
+def small_config() -> SimulationConfig:
+    return SimulationConfig().scaled(0.002)
+
+
+class TestAllowlist:
+    def test_excluded_fields_are_real_config_fields(self):
+        names = {f.name for f in dataclasses.fields(SimulationConfig)}
+        assert set(HASH_EXCLUDED_FIELDS) <= names
+
+    def test_every_exclusion_has_a_written_rationale(self):
+        for name, rationale in HASH_EXCLUDED_FIELDS.items():
+            assert rationale.strip(), f"{name} has no rationale"
+
+    def test_the_documented_exclusions_are_kernel_and_engine(self):
+        assert set(HASH_EXCLUDED_FIELDS) == {"kernel", "engine"}
+
+
+class TestHashBehavior:
+    def test_excluded_fields_do_not_move_the_hash(self):
+        base = small_config()
+        assert config_hash(base) == config_hash(
+            base.replace(kernel="calendar")
+        )
+        assert config_hash(base) == config_hash(base.replace(engine="array"))
+
+    def test_hashed_fields_move_the_hash(self):
+        base = small_config()
+        assert config_hash(base) != config_hash(
+            base.replace(master_seed=base.master_seed + 1)
+        )
+        assert config_hash(base) != config_hash(base.replace(protocol="ndac"))
+
+    def test_hash_is_stable_across_equal_configs(self):
+        assert config_hash(small_config()) == config_hash(small_config())

@@ -1,0 +1,127 @@
+"""The detlint command line, and the acceptance gate: the tree is clean.
+
+``test_live_tree_is_clean`` is the contract the whole PR rests on — the
+default lint surface (``src``, ``benchmarks``, ``examples``) must stay
+free of unsuppressed findings, so any future violation of a determinism
+rule fails the tier-1 suite, not just CI's lint job.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.devtools.staticcheck.cli import DEFAULT_PATHS, build_parser, run
+from repro.devtools.staticcheck.framework import run_detlint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+BAD_TREE = {
+    "src/repro/simulation/leaky.py": (
+        '"""fixture"""\n'
+        "import random\n"
+        "import time\n"
+        "def jitter():\n"
+        "    return random.random() + time.time()\n"
+    ),
+}
+
+
+def write_tree(root: Path, files: dict[str, str]) -> None:
+    for relpath, text in files.items():
+        target = root / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
+
+
+class TestLiveTree:
+    def test_live_tree_is_clean(self):
+        assert run_detlint(REPO_ROOT, paths=list(DEFAULT_PATHS)) == []
+
+    def test_run_exits_zero_on_the_live_tree(self, capsys):
+        assert run(root=str(REPO_ROOT)) == 0
+        assert "detlint: ok" in capsys.readouterr().out
+
+
+class TestRunFunction:
+    def test_violations_exit_one(self, tmp_path, capsys):
+        write_tree(tmp_path, BAD_TREE)
+        assert run(["src"], root=str(tmp_path)) == 1
+        err = capsys.readouterr().err
+        assert "[no-global-rng]" in err
+        assert "[no-wallclock]" in err
+
+    def test_rule_filter_narrows_the_findings(self, tmp_path, capsys):
+        write_tree(tmp_path, BAD_TREE)
+        assert run(["src"], root=str(tmp_path), rules=["no-wallclock"]) == 1
+        err = capsys.readouterr().err
+        assert "[no-wallclock]" in err and "[no-global-rng]" not in err
+
+    def test_unknown_rule_is_a_usage_error(self, capsys):
+        assert run(rules=["no-such-rule"]) == 2
+        assert "unknown detlint rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert run(list_rules=True) == 0
+        out = capsys.readouterr().out
+        for rule in ("no-global-rng", "no-wallclock", "no-unordered-iteration",
+                     "config-hash-drift", "slots-hotpath", "export-sync"):
+            assert f"{rule}:" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        write_tree(tmp_path, BAD_TREE)
+        assert run(
+            ["src"], root=str(tmp_path), rules=["no-wallclock"],
+            output_format="json",
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload and payload[0]["rule"] == "no-wallclock"
+        assert set(payload[0]) == {"file", "line", "rule", "message",
+                                   "severity"}
+
+    def test_baseline_write_then_tolerate(self, tmp_path, capsys):
+        write_tree(tmp_path, BAD_TREE)
+        baseline = tmp_path / "baseline.json"
+        assert run(
+            ["src"], root=str(tmp_path), write_baseline_path=str(baseline)
+        ) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert run(["src"], root=str(tmp_path), baseline=str(baseline)) == 0
+
+    def test_missing_baseline_is_a_usage_error(self, tmp_path, capsys):
+        assert run(
+            ["src"], root=str(tmp_path), baseline=str(tmp_path / "nope.json")
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestArgumentParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.paths == [] or args.paths is None
+        assert args.root == "."
+        assert args.format == "text"
+        assert args.rules is None
+
+    def test_rules_and_format(self):
+        args = build_parser().parse_args(
+            ["src", "--rules", "no-wallclock", "--format", "json"]
+        )
+        assert args.paths == ["src"]
+        assert args.rules == ["no-wallclock"]
+        assert args.format == "json"
+
+
+class TestReproLintCommand:
+    def test_lint_subcommand_runs_clean_on_the_tree(self, capsys):
+        assert repro_main(["lint", "--root", str(REPO_ROOT)]) == 0
+        assert "detlint: ok" in capsys.readouterr().out
+
+    def test_lint_subcommand_list_rules(self, capsys):
+        assert repro_main(["lint", "--list-rules"]) == 0
+        assert "config-hash-drift:" in capsys.readouterr().out
+
+    def test_lint_subcommand_reports_violations(self, tmp_path, capsys):
+        write_tree(tmp_path, BAD_TREE)
+        assert repro_main(["lint", "src", "--root", str(tmp_path)]) == 1
+        assert "[no-global-rng]" in capsys.readouterr().err

@@ -1,0 +1,59 @@
+"""The shared finding/exit-code conventions every checker reports through."""
+
+import io
+
+from repro.devtools.reporting import Finding, exit_code, print_findings, report
+
+
+class TestFinding:
+    def test_format_is_file_line_rule_message(self):
+        f = Finding(file="src/a.py", line=7, rule="no-wallclock", message="boom")
+        assert f.format() == "src/a.py:7: [no-wallclock] boom"
+
+    def test_line_zero_means_whole_file(self):
+        f = Finding(file="out.json", line=0, rule="bench-schema", message="bad")
+        assert f.format() == "out.json: [bench-schema] bad"
+
+    def test_warning_severity_is_tagged(self):
+        f = Finding("a.py", 1, "r", "m", severity="warning")
+        assert "[r!]" in f.format()
+
+    def test_findings_sort_by_file_then_line(self):
+        early = Finding("a.py", 1, "r", "m")
+        late = Finding("b.py", 1, "r", "m")
+        mid = Finding("a.py", 9, "r", "m")
+        assert sorted([late, mid, early]) == [early, mid, late]
+
+
+class TestExitCode:
+    def test_clean_is_zero(self):
+        assert exit_code([]) == 0
+
+    def test_any_error_is_one(self):
+        assert exit_code([Finding("a", 1, "r", "m")]) == 1
+
+    def test_warnings_alone_stay_zero(self):
+        assert exit_code([Finding("a", 1, "r", "m", severity="warning")]) == 0
+
+
+class TestReport:
+    def test_clean_report_prints_ok(self, capsys):
+        assert report("tool", [], ok_detail="3 files") == 0
+        assert "tool: ok (3 files)" in capsys.readouterr().out
+
+    def test_failing_report_prints_findings_and_summary(self):
+        stream = io.StringIO()
+        findings = [Finding("a.py", 2, "r", "broken")]
+        assert report("tool", findings, stream=stream) == 1
+        text = stream.getvalue()
+        assert "a.py:2: [r] broken" in text
+        assert "tool: 1 error(s)" in text
+
+    def test_print_findings_is_sorted(self):
+        stream = io.StringIO()
+        print_findings(
+            [Finding("b.py", 1, "r", "m"), Finding("a.py", 1, "r", "m")],
+            stream=stream,
+        )
+        lines = stream.getvalue().splitlines()
+        assert lines[0].startswith("a.py") and lines[1].startswith("b.py")

@@ -1,9 +1,10 @@
 """The documentation suite stays truthful: links, CLI refs, docstrings.
 
-``scripts/check_docs.py`` is the single source of the rules (CI runs it
-next to the pdoc API-reference build); these tests run the same checks
-in the tier-1 suite so a broken cross-reference fails before it ships,
-and pin that the checker itself still detects each failure class.
+``repro.devtools.docscheck`` is the single source of the rules
+(``scripts/check_docs.py`` is its CI shim, run next to the pdoc
+API-reference build); these tests run the same checks in the tier-1
+suite so a broken cross-reference fails before it ships, and pin that
+the checker itself still detects each failure class.
 """
 
 import subprocess
@@ -63,18 +64,20 @@ class TestCheckerDetectsRot:
 
     def test_broken_link_detected(self, tmp_path):
         root = self.write_readme(tmp_path, "[gone](docs/NOPE.md)\n")
-        assert any("broken link" in p for p in check_docs.check_markdown(root))
+        assert any("broken link" in p.message for p in check_docs.check_markdown(root))
 
     def test_missing_path_reference_detected(self, tmp_path):
         root = self.write_readme(tmp_path, "see `src/repro/not_there.py`\n")
         assert any(
-            "does not exist" in p for p in check_docs.check_markdown(root)
+            "does not exist" in p.message
+            for p in check_docs.check_markdown(root)
         )
 
     def test_unimportable_dotted_reference_detected(self, tmp_path):
         root = self.write_readme(tmp_path, "see `repro.simulation.wormhole`\n")
         assert any(
-            "does not import" in p for p in check_docs.check_markdown(root)
+            "does not import" in p.message
+            for p in check_docs.check_markdown(root)
         )
 
     def test_resolvable_references_pass(self, tmp_path):
@@ -89,7 +92,7 @@ class TestCheckerDetectsRot:
             tmp_path, "```bash\npython -m repro run --warp 9\n```\n"
         )
         assert any(
-            "--warp" in p for p in check_docs.check_cli_references(root)
+            "--warp" in p.message for p in check_docs.check_cli_references(root)
         )
 
     def test_unknown_command_detected(self, tmp_path):
@@ -97,7 +100,7 @@ class TestCheckerDetectsRot:
             tmp_path, "```bash\npython -m repro teleport\n```\n"
         )
         assert any(
-            "teleport" in p for p in check_docs.check_cli_references(root)
+            "teleport" in p.message for p in check_docs.check_cli_references(root)
         )
 
     def test_prose_before_the_command_marker_is_ignored(self, tmp_path):
@@ -114,7 +117,8 @@ class TestCheckerDetectsRot:
             "    --bogus-flag 1\n```\n",
         )
         assert any(
-            "--bogus-flag" in p for p in check_docs.check_cli_references(root)
+            "--bogus-flag" in p.message
+            for p in check_docs.check_cli_references(root)
         )
 
     def test_api_docstrings_are_complete(self):
