@@ -16,9 +16,14 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.devtools.studycheck import check_file, main  # noqa: E402
+from repro.devtools.studycheck import (  # noqa: E402
+    check_file,
+    compare_files,
+    main,
+    record_fingerprint,
+)
 
-__all__ = ["check_file", "main"]
+__all__ = ["check_file", "compare_files", "main", "record_fingerprint"]
 
 if __name__ == "__main__":
     raise SystemExit(main(sys.argv))

@@ -52,6 +52,12 @@ from repro.orchestration.batch import run_batch
 from repro.orchestration.runspec import RunSpec
 from repro.orchestration.study import ResultSet, RunRecord, Study
 from repro.orchestration.store import ResultStore
+from repro.orchestration.shard import (
+    ClaimRegistry,
+    merge_stores,
+    shard_run,
+    store_status,
+)
 from repro.scenarios import Scenario, get_scenario, scenario_names
 from repro.simulation.config import SimulationConfig
 from repro.simulation.kernel import CalendarKernel, EventKernel, HeapKernel
@@ -131,6 +137,11 @@ __all__ = [
     "RunRecord",
     "ResultSet",
     "ResultStore",
+    # sharded, crash-safe execution
+    "ClaimRegistry",
+    "shard_run",
+    "merge_stores",
+    "store_status",
     # replication and experiments
     "replicate",
     "ReplicatedResult",

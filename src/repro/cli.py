@@ -11,6 +11,29 @@ Commands
     ``--sweep PARAM V1 V2 ...`` adds parameter axes, ``--seeds K``
     replicates every point; prints a per-run table plus mean ± CI
     aggregates, and ``--export json|csv`` writes the full record set.
+    ``--resume`` re-enters a crashed or sharded run through the claim
+    protocol (requires ``--cache-dir``): finished specs are served from
+    the store, orphaned (expired-lease) specs are reclaimed and
+    executed, and specs another live worker holds are skipped.
+``study shard``
+    Claim and execute one slice of a study grid against a shared or
+    per-host :class:`~repro.orchestration.store.ResultStore`
+    (``--store DIR``), cooperating with other workers through the
+    lease-based claim protocol in :mod:`repro.orchestration.shard`:
+    ``--slice I/N`` takes every N-th spec starting at I, ``--owner`` and
+    ``--lease`` control claim identity and expiry, ``--claim-batch``
+    sets the claim-wave size (smaller waves interleave better with
+    other workers and tolerate shorter leases), and ``--executed-log``
+    appends one ``owner spec_hash`` line per executed spec.
+``study merge``
+    Fold N shard stores into one (``--into DEST SRC...``), verifying
+    spec-hash and payload agreement on every overlap; disagreement
+    aborts the merge, because two differing records under one spec hash
+    mean a determinism violation.
+``study status``
+    Claimed / done / orphaned census of a store's records and claims
+    (``--store DIR``); with a grid (``--scenario`` plus the usual axis
+    flags) also reports how many specs remain pending.
 ``compare``
     DAC vs NDAC under one workload; prints Figure 4/5/6 style output.
 ``sweep``
@@ -83,6 +106,11 @@ from repro.scenarios import (
     get_scenario,
     scenario_for_pattern,
     scenario_names,
+)
+from repro.orchestration.shard import (
+    merge_stores,
+    shard_run,
+    store_status,
 )
 from repro.orchestration.store import ResultStore
 from repro.orchestration.study import ResultSet, Study
@@ -165,6 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
             raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
         return value
 
+    def positive_float(text: str) -> float:
+        value = float(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+        return value
+
     def add_jobs(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=positive_int, default=1,
                        help="worker processes for independent runs (default 1)")
@@ -197,6 +231,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--figures", action="store_true",
                        help="print Figure 5/6/7 reports for the run")
 
+    def add_grid(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--protocols", nargs="+", default=None,
+                       metavar="PROTOCOL",
+                       help="admission policies to grid over (default: "
+                            "the scenario's single protocol)")
+        p.add_argument("--sweep", action="append", nargs="+", default=None,
+                       metavar=("PARAM VALUE", "VALUE"),
+                       help="sweep a config field: --sweep PARAM V1 V2 ... "
+                            "(repeatable; values coerced to the field's "
+                            "type)")
+        p.add_argument("--seeds", type=positive_int, default=1,
+                       help="replications per grid point (default 1)")
+        p.add_argument("--seed-stride", type=positive_int, default=1,
+                       help="stride between derived master seeds (default 1)")
+
     study_p = sub.add_parser(
         "study", help="declarative grid: protocols x sweeps x seeds"
     )
@@ -206,19 +255,67 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(study_p)
     add_cache(study_p)
     add_export(study_p)
-    study_p.add_argument("--protocols", nargs="+", default=None,
-                         metavar="PROTOCOL",
-                         help="admission policies to grid over (default: "
-                              "the scenario's single protocol)")
-    study_p.add_argument("--sweep", action="append", nargs="+", default=None,
-                         metavar=("PARAM VALUE", "VALUE"),
-                         help="sweep a config field: --sweep PARAM V1 V2 ... "
-                              "(repeatable; values coerced to the field's "
-                              "type)")
-    study_p.add_argument("--seeds", type=positive_int, default=1,
-                         help="replications per grid point (default 1)")
-    study_p.add_argument("--seed-stride", type=positive_int, default=1,
-                         help="stride between derived master seeds (default 1)")
+    add_grid(study_p)
+    study_p.add_argument("--resume", action="store_true",
+                         help="re-enter a crashed or sharded run through "
+                              "the claim protocol (requires --cache-dir): "
+                              "serve finished specs, reclaim orphaned ones, "
+                              "skip specs held by live workers")
+    study_p.add_argument("--owner", default=None,
+                         help="claim owner identity for --resume "
+                              "(default: host-pid)")
+    study_p.add_argument("--lease", type=positive_float, default=900.0,
+                         help="claim lease seconds for --resume "
+                              "(default 900)")
+
+    study_sub = study_p.add_subparsers(
+        dest="study_command", metavar="SUBCOMMAND",
+        help="sharded execution: shard, merge, status "
+             "(omit to run the grid in this process)",
+    )
+
+    shard_p = study_sub.add_parser(
+        "shard", help="claim and execute a slice of a study against a store"
+    )
+    add_common(shard_p)
+    add_probes(shard_p)
+    add_jobs(shard_p)
+    add_grid(shard_p)
+    shard_p.add_argument("--store", required=True,
+                         help="result store directory (shared between "
+                              "workers, or per-host and merged later)")
+    shard_p.add_argument("--owner", default=None,
+                         help="claim owner identity (default: host-pid)")
+    shard_p.add_argument("--lease", type=positive_float, default=900.0,
+                         help="claim lease seconds; must exceed one claim "
+                              "wave's runtime (default 900)")
+    shard_p.add_argument("--slice", default="0/1", metavar="I/N",
+                         help="execute every N-th spec starting at I "
+                              "(default 0/1: the whole grid)")
+    shard_p.add_argument("--claim-batch", type=positive_int, default=None,
+                         metavar="K",
+                         help="claim at most K specs per wave (default: "
+                              "the whole slice at once)")
+    shard_p.add_argument("--executed-log", default=None, metavar="FILE",
+                         help="append one 'owner spec_hash' line per "
+                              "executed spec")
+
+    merge_p = study_sub.add_parser(
+        "merge", help="fold shard stores into one, verifying agreement"
+    )
+    merge_p.add_argument("--into", required=True, metavar="DEST",
+                         help="destination store directory")
+    merge_p.add_argument("sources", nargs="+", metavar="SRC",
+                         help="source store directories")
+
+    status_p = study_sub.add_parser(
+        "status", help="claimed/done/orphaned census of a store"
+    )
+    add_common(status_p)
+    add_probes(status_p)
+    add_grid(status_p)
+    status_p.add_argument("--store", required=True,
+                          help="result store directory to census")
 
     cmp_p = sub.add_parser("compare", help="DAC vs NDAC comparison")
     add_common(cmp_p)
@@ -439,12 +536,19 @@ def _run_body(args: argparse.Namespace) -> int:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
+    command = getattr(args, "study_command", None)
+    if command == "shard":
+        return _study_shard_body(args)
+    if command == "merge":
+        return _study_merge_body(args)
+    if command == "status":
+        return _study_status_body(args)
     return _maybe_profiled(args, lambda: _study_body(args))
 
 
-def _study_body(args: argparse.Namespace) -> int:
+def _build_study(args: argparse.Namespace) -> Study:
+    """Expand the shared grid flags into a :class:`Study` builder."""
     config = _make_config(args)
-    print(config.describe())
     study = Study.from_config(config, scenario=args.scenario)
     if args.protocols:
         study.protocols(*args.protocols)
@@ -459,8 +563,81 @@ def _study_body(args: argparse.Namespace) -> int:
             [_coerce_sweep_value(parameter, text) for text in sweep_spec[1:]],
         )
     study.seeds(args.seeds, stride=args.seed_stride)
+    return study
+
+
+def _parse_slice(text: str) -> tuple[int, int]:
+    """``I/N`` — this worker's round-robin slice of the spec list."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise P2PStreamError(
+            f"--slice must look like I/N (e.g. 0/2), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise P2PStreamError(
+            f"--slice needs 0 <= I < N with N >= 1, got {text!r}"
+        )
+    return index, count
+
+
+def _study_shard_body(args: argparse.Namespace) -> int:
+    config = _make_config(args)
+    print(config.describe())
+    slice_index, slice_count = _parse_slice(args.slice)
+    report = shard_run(
+        _build_study(args),
+        ResultStore(args.store),
+        owner=args.owner,
+        lease_seconds=args.lease,
+        jobs=args.jobs,
+        slice_index=slice_index,
+        slice_count=slice_count,
+        claim_batch=args.claim_batch,
+        executed_log=args.executed_log,
+    )
+    print(report.summary())
+    return 0
+
+
+def _study_merge_body(args: argparse.Namespace) -> int:
+    destination = ResultStore(args.into, require_version=None)
+    sources = [ResultStore(path, require_version=None) for path in args.sources]
+    report = merge_stores(destination, sources)
+    print(report.summary())
+    return 0
+
+
+def _study_status_body(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    # Pending counts need the grid; build it only when the invocation
+    # actually describes one (otherwise report just the store's state).
+    wants_grid = (
+        args.scenario is not None or args.protocols or args.sweep
+        or args.seeds != 1
+    )
+    study = _build_study(args) if wants_grid else None
+    print(store_status(store, study).summary())
+    return 0
+
+
+def _study_body(args: argparse.Namespace) -> int:
+    if args.resume and not args.cache_dir:
+        raise P2PStreamError(
+            "--resume needs --cache-dir: resumption is defined by the "
+            "records and claims already on disk"
+        )
+    config = _make_config(args)
+    print(config.describe())
+    study = _build_study(args)
     result_set = study.run(
-        jobs=args.jobs, store=_store_from(args), cache=not args.no_cache
+        jobs=args.jobs,
+        store=_store_from(args),
+        cache=not args.no_cache,
+        resume=args.resume,
+        owner=args.owner,
+        lease_seconds=args.lease,
     )
     rows = []
     for record in result_set:

@@ -148,23 +148,31 @@ def dotted_reference_resolves(dotted: str) -> bool:
 
 
 def cli_vocabulary() -> tuple[set[str], set[str]]:
-    """The CLI's real subcommands and the union of their option strings."""
+    """The CLI's real subcommands and the union of their option strings.
+
+    Walks subparsers recursively, so nested subcommands (``study shard``,
+    ``study merge``, ...) contribute both their names and their flags.
+    """
     import argparse
 
     from repro.cli import build_parser
 
-    parser = build_parser()
     commands: set[str] = set()
     flags: set[str] = set()
-    for action in parser._actions:
-        if isinstance(action, argparse._SubParsersAction):
-            for name, sub in action.choices.items():
-                commands.add(name)
-                for sub_action in sub._actions:
-                    flags.update(
-                        opt for opt in sub_action.option_strings
-                        if opt.startswith("--")
-                    )
+
+    def walk(parser: argparse.ArgumentParser) -> None:
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                for name, sub in action.choices.items():
+                    commands.add(name)
+                    walk(sub)
+            else:
+                flags.update(
+                    opt for opt in action.option_strings
+                    if opt.startswith("--")
+                )
+
+    walk(build_parser())
     return commands, flags
 
 

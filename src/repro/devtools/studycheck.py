@@ -6,16 +6,29 @@ and for every record the provenance, scalar and metrics fields
 downstream tooling relies on.  Problems surface as
 :class:`~repro.devtools.reporting.Finding` objects; the first schema
 violation stops the walk.
+
+``check_study_json.py A --equal B`` additionally asserts two exports
+are bit-identical up to wall time — the contract a sharded-and-merged
+study must satisfy against its serial oracle, checked record-by-record
+via the same wall-time-excluding fingerprint
+:meth:`~repro.orchestration.study.RunRecord.fingerprint` uses.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
 from repro.devtools.reporting import Finding, report
 
-__all__ = ["SchemaProblem", "check_file", "main"]
+__all__ = [
+    "SchemaProblem",
+    "check_file",
+    "compare_files",
+    "main",
+    "record_fingerprint",
+]
 
 EXPECTED_SCHEMA = "repro.study.v1"
 
@@ -105,10 +118,66 @@ def check_file(path: Path) -> tuple[list[Finding], str]:
     return [], f"{len(records)} record(s), version {payload['version']}"
 
 
+def record_fingerprint(record: dict) -> str:
+    """Digest of an exported record dict, wall time excluded.
+
+    Byte-compatible with
+    :meth:`~repro.orchestration.study.RunRecord.fingerprint`: exports
+    serialize ``RunRecord.to_dict()`` verbatim, so hashing the same
+    canonical JSON (minus ``wall_seconds``) reproduces the in-process
+    digest without importing the simulator.
+    """
+    payload = {k: v for k, v in record.items() if k != "wall_seconds"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def compare_files(path: Path, other: Path) -> tuple[list[Finding], str]:
+    """Assert two study exports agree record-for-record up to wall time."""
+
+    def finding(message: str) -> tuple[list[Finding], str]:
+        return [Finding(
+            file=str(path), line=0, rule="study-equal", message=message
+        )], ""
+
+    payloads = []
+    for source in (path, other):
+        findings, _ = check_file(source)
+        if findings:
+            return findings, ""
+        payloads.append(json.loads(source.read_text(encoding="utf-8")))
+    first, second = payloads
+    if len(first["records"]) != len(second["records"]):
+        return finding(
+            f"{path} has {len(first['records'])} records but {other} has "
+            f"{len(second['records'])}"
+        )
+    for index, (a, b) in enumerate(zip(first["records"], second["records"])):
+        if a["spec_hash"] != b["spec_hash"]:
+            return finding(
+                f"records[{index}]: spec hashes differ "
+                f"({a['spec_hash'][:12]}… vs {b['spec_hash'][:12]}…)"
+            )
+        if record_fingerprint(a) != record_fingerprint(b):
+            return finding(
+                f"records[{index}] (spec {a['spec_hash'][:12]}…): payloads "
+                "differ beyond wall time — the runs are not bit-identical"
+            )
+    return [], f"{len(first['records'])} record(s) bit-identical up to wall time"
+
+
 def main(argv: list[str]) -> int:
-    """Validate the study JSON file named on the command line."""
-    if len(argv) != 2:
-        print("usage: check_study_json.py PATH/TO/study.json")
+    """Validate the study JSON file named on the command line.
+
+    ``FILE`` checks one export's schema; ``FILE --equal OTHER``
+    additionally requires both exports to agree up to wall time.
+    """
+    if len(argv) == 2:
+        findings, summary = check_file(Path(argv[1]))
+    elif len(argv) == 4 and argv[2] == "--equal":
+        findings, summary = compare_files(Path(argv[1]), Path(argv[3]))
+    else:
+        print("usage: check_study_json.py PATH/TO/study.json "
+              "[--equal OTHER.json]")
         return 2
-    findings, summary = check_file(Path(argv[1]))
     return report("check_study_json", findings, ok_detail=summary)

@@ -18,6 +18,9 @@ __all__ = [
     "SchedulingError",
     "LookupError_",
     "SimulationError",
+    "BatchWorkerError",
+    "ClaimError",
+    "StoreMergeError",
     "TraceError",
 ]
 
@@ -65,6 +68,36 @@ class LookupError_(P2PStreamError):
 
 class SimulationError(P2PStreamError):
     """The discrete-event simulation reached an invalid state."""
+
+
+class BatchWorkerError(SimulationError):
+    """A batch worker failed on one specific config.
+
+    Raised by :func:`~repro.orchestration.batch.run_batch` in place of a
+    bare ``BrokenProcessPool`` (or a naked worker exception): it names
+    the failing config's index and label so a dead grid point is
+    identifiable without bisecting the batch.
+    """
+
+    def __init__(self, index: int, label: str, reason: str) -> None:
+        super().__init__(
+            f"batch worker failed on config {index} ({label}): {reason}"
+        )
+        self.index = index
+        self.label = label
+        self.reason = reason
+
+
+class ClaimError(P2PStreamError):
+    """A spec-claim operation was invalid (bad lease, foreign claim, ...)."""
+
+
+class StoreMergeError(P2PStreamError):
+    """Two result stores disagree on a record they both hold.
+
+    Same spec hash but differing payload fingerprints means a
+    determinism violation somewhere; merging refuses to pick a side.
+    """
 
 
 class TraceError(P2PStreamError):

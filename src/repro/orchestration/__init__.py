@@ -14,7 +14,12 @@
   aggregation;
 * :mod:`repro.orchestration.store` — :class:`ResultStore`, disk
   memoization of records keyed by spec hash, so repeated invocations
-  skip already-computed runs.
+  skip already-computed runs;
+* :mod:`repro.orchestration.shard` — crash-safe multi-host execution:
+  the lease-based :class:`ClaimRegistry` claim protocol,
+  :func:`shard_run` (claim and execute a slice of a study),
+  :func:`merge_stores` (fold per-host stores, verifying agreement on
+  overlap) and :func:`store_status` (claimed/done/orphaned census).
 
 The legacy helpers — :func:`~repro.simulation.runner.compare_protocols`,
 :func:`~repro.simulation.runner.sweep_parameter` and
@@ -32,6 +37,17 @@ from repro.orchestration.study import (
     Study,
 )
 from repro.orchestration.store import ResultStore
+from repro.orchestration.shard import (
+    Claim,
+    ClaimRegistry,
+    MergeReport,
+    ShardReport,
+    StoreStatus,
+    default_owner,
+    merge_stores,
+    shard_run,
+    store_status,
+)
 
 __all__ = [
     "run_batch",
@@ -44,4 +60,14 @@ __all__ = [
     "RunRecord",
     "Study",
     "ResultStore",
+    # sharded execution
+    "Claim",
+    "ClaimRegistry",
+    "MergeReport",
+    "ShardReport",
+    "StoreStatus",
+    "default_owner",
+    "merge_stores",
+    "shard_run",
+    "store_status",
 ]

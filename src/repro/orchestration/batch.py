@@ -1,4 +1,4 @@
-"""``run_batch`` — one executor for every multi-run experiment.
+"""``run_batch`` — one fault-tolerant executor for every multi-run experiment.
 
 Replications, protocol comparisons and parameter sweeps are all "run k
 independent configs, keep the results in order".  :func:`run_batch` is
@@ -7,48 +7,179 @@ that one primitive:
 * ``jobs=1`` (the default) runs serially in-process — bit-identical to
   calling :func:`~repro.simulation.runner.run_simulation` in a loop, so
   regression baselines and cached results stay valid;
-* ``jobs>1`` fans the configs out over a :class:`ProcessPoolExecutor`.
-  Configs are picklable frozen dataclasses and workers return the full
+* ``jobs>1`` fans the configs out over a :class:`ProcessPoolExecutor`
+  in contiguous chunks.  Configs are picklable frozen dataclasses and
+  workers return the full
   :class:`~repro.simulation.runner.SimulationResult` (metrics included),
   so results are byte-equal to the serial path — only wall time changes.
 
+Fault tolerance: a dead worker (OOM kill, SIGKILL, interpreter abort)
+used to surface as a bare ``BrokenProcessPool`` that lost the whole
+batch and named no culprit.  Now the surviving chunks' results are
+kept, the broken pool is replaced, and the unfinished configs are
+requeued as singleton chunks; a config that still kills its worker
+after ``retries`` fresh pools raises
+:class:`~repro.errors.BatchWorkerError` naming the config's index and
+label.  Deterministic in-simulation exceptions are wrapped the same way
+(chained to the original), so every failure mode identifies its grid
+point.
+
 Determinism guarantees, both modes:
 
-* result order == config order (``Executor.map`` preserves it);
+* result order == config order (results are reassembled by index);
 * every run's RNG streams derive only from its own config's
   ``master_seed``, so seed-pairing across protocols/sweep points is
-  exactly as in serial execution.
+  exactly as in serial execution;
+* requeued configs recompute byte-identical results (runs are
+  deterministic), so retries never change what the batch returns.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 
+from repro.errors import BatchWorkerError
 from repro.simulation.config import SimulationConfig
 from repro.simulation.runner import SimulationResult, run_simulation
 
 __all__ = ["run_batch"]
 
+#: fresh pools a config may break before it is declared the culprit
+DEFAULT_RETRIES = 2
+
+
+class _WorkerFailure(Exception):
+    """Pickle-safe envelope for an exception raised inside a worker.
+
+    Carries the failing config's batch index and the original
+    exception's ``repr`` (the exception object itself may not pickle).
+    """
+
+    def __init__(self, index: int, reason: str) -> None:
+        super().__init__(index, reason)
+        self.index = index
+        self.reason = reason
+
+
+def _run_chunk(
+    chunk: Sequence[tuple[int, SimulationConfig]],
+) -> list[tuple[int, SimulationResult]]:
+    """Worker body: run one chunk, tagging results (and failures) by index.
+
+    ``run_simulation`` is resolved as a module global at call time, in
+    the worker — with fork-start workers the child inherits the parent's
+    module state, so both execution paths run the same callable.
+    """
+    out: list[tuple[int, SimulationResult]] = []
+    for index, config in chunk:
+        try:
+            out.append((index, run_simulation(config)))
+        except Exception as exc:
+            raise _WorkerFailure(index, repr(exc)) from exc
+    return out
+
+
+def _label_for(index: int, labels: Sequence[str] | None,
+               config: SimulationConfig) -> str:
+    """The config's study label when given, else a protocol/seed sketch."""
+    if labels is not None and index < len(labels):
+        return labels[index]
+    return f"{config.protocol} seed={config.master_seed}"
+
 
 def run_batch(
-    configs: Iterable[SimulationConfig], jobs: int = 1
+    configs: Iterable[SimulationConfig],
+    jobs: int = 1,
+    labels: Sequence[str] | None = None,
+    retries: int = DEFAULT_RETRIES,
 ) -> list[SimulationResult]:
     """Run every config; results come back in config order.
 
     ``jobs`` is the maximum number of worker processes; ``1`` means
     serial in-process execution (no pool, no pickling).  The pool never
-    holds more workers than configs.
+    holds more workers than configs.  ``labels`` (parallel to
+    ``configs``) names grid points in failure messages; ``retries``
+    bounds how many fresh pools a worker-killing config may break
+    before :class:`~repro.errors.BatchWorkerError` is raised.
     """
     config_list: Sequence[SimulationConfig] = list(configs)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 1:
+        raise ValueError(f"retries must be >= 1, got {retries}")
     if jobs == 1 or len(config_list) <= 1:
-        return [run_simulation(config) for config in config_list]
+        results: list[SimulationResult] = []
+        for index, config in enumerate(config_list):
+            try:
+                results.append(run_simulation(config))
+            except Exception as exc:
+                raise BatchWorkerError(
+                    index, _label_for(index, labels, config), repr(exc)
+                ) from exc
+        return results
+    return _run_pooled(config_list, jobs, labels, retries)
+
+
+def _run_pooled(
+    config_list: Sequence[SimulationConfig],
+    jobs: int,
+    labels: Sequence[str] | None,
+    retries: int,
+) -> list[SimulationResult]:
+    """Chunked pool execution surviving worker death by requeuing chunks."""
     workers = min(jobs, len(config_list))
     # Batch tasks so a large grid (hundreds of specs) does not pay one
-    # round of pickling/IPC per run; Executor.map keeps result order for
-    # any chunksize.
+    # round of pickling/IPC per run; results carry their index, so any
+    # chunk layout reassembles in config order.
     chunksize = max(1, len(config_list) // workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_simulation, config_list, chunksize=chunksize))
+    indexed = list(enumerate(config_list))
+    chunks = [
+        indexed[start:start + chunksize]
+        for start in range(0, len(indexed), chunksize)
+    ]
+    slots: list[SimulationResult | None] = [None] * len(config_list)
+    attempts = [0] * len(config_list)
+    while chunks:
+        requeue: list[list[tuple[int, SimulationConfig]]] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_chunk, chunk): chunk
+                for chunk in chunks
+            }
+            # Collect eagerly: a broken pool fails every outstanding
+            # future, but chunks that already finished keep their results.
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                for future in done:
+                    chunk = futures[future]
+                    try:
+                        for index, result in future.result():
+                            slots[index] = result
+                    except _WorkerFailure as failure:
+                        index = failure.index
+                        raise BatchWorkerError(
+                            index,
+                            _label_for(index, labels, config_list[index]),
+                            failure.reason,
+                        ) from failure
+                    except BrokenProcessPool as broken:
+                        for index, config in chunk:
+                            if slots[index] is not None:
+                                continue
+                            attempts[index] += 1
+                            if attempts[index] >= retries:
+                                raise BatchWorkerError(
+                                    index,
+                                    _label_for(index, labels, config),
+                                    "worker process died repeatedly "
+                                    f"({attempts[index]} pools broken); "
+                                    "this config is the likely culprit",
+                                ) from broken
+                            requeue.append([(index, config)])
+        # Retry rounds run each survivor alone in a fresh pool, so a
+        # second death unambiguously identifies the culprit config.
+        chunks = requeue
+    return [result for result in slots if result is not None]

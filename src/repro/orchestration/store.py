@@ -46,6 +46,16 @@ class ResultStore:
         """The file a record with this spec hash lives in."""
         return self.root / f"{spec_hash}.json"
 
+    @property
+    def claims_root(self) -> Path:
+        """Where this store's spec claims live (the ``claims/`` subdir).
+
+        Record globs are non-recursive, so claim files never read as
+        records; see :class:`~repro.orchestration.shard.ClaimRegistry`
+        for the claim protocol itself.
+        """
+        return self.root / "claims"
+
     # ------------------------------------------------------------------
     def get(self, spec_hash: str) -> RunRecord | None:
         """The cached record for ``spec_hash``, or ``None`` on any miss."""

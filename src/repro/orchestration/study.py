@@ -785,6 +785,9 @@ class Study:
         jobs: int = 1,
         store: "ResultStore | None" = None,
         cache: bool = True,
+        resume: bool = False,
+        owner: str | None = None,
+        lease_seconds: float = 900.0,
     ) -> ResultSet:
         """Execute the grid and return its records in spec order.
 
@@ -793,8 +796,31 @@ class Study:
         identical to the serial path up to wall time.  With a ``store``,
         already-computed specs are served from disk (``cache=False``
         forces re-execution; fresh records still land in the store).
+
+        ``resume=True`` (requires a ``store``) re-enters a sharded or
+        crashed run through the claim protocol
+        (:mod:`repro.orchestration.shard`): cached specs are served,
+        unclaimed and expired-lease specs are claimed and executed, and
+        specs under a live foreign lease are skipped — their records are
+        omitted from the returned set, since another worker is still
+        computing them.  After a worker crash, its leases expire and a
+        resumed run completes the grid without recomputing finished
+        specs.
         """
         specs = self.specs()
+        if resume:
+            if store is None:
+                raise ConfigurationError(
+                    "Study.run(resume=True) needs a store: resumption is "
+                    "defined by the records and claims already on disk"
+                )
+            from repro.orchestration.shard import shard_run
+
+            shard_run(
+                self, store, owner=owner,
+                lease_seconds=lease_seconds, jobs=jobs,
+            )
+            return self.collect(store, allow_missing=True)
         records: list[RunRecord | None] = [None] * len(specs)
         if store is not None and cache:
             for index, spec in enumerate(specs):
@@ -802,13 +828,45 @@ class Study:
                 if cached is not None:
                     records[index] = cached.with_spec(spec)
         missing = [index for index, record in enumerate(records) if record is None]
-        results = run_batch([specs[index].config for index in missing], jobs=jobs)
+        results = run_batch(
+            [specs[index].config for index in missing],
+            jobs=jobs,
+            labels=[specs[index].label() for index in missing],
+        )
         for index, result in zip(missing, results):
             record = RunRecord.from_result(specs[index], result)
             records[index] = record
             if store is not None:
                 store.put(record)
         return ResultSet(records=tuple(records))  # type: ignore[arg-type]
+
+    def collect(
+        self, store: "ResultStore", allow_missing: bool = False
+    ) -> ResultSet:
+        """The grid's records served purely from a store, in spec order.
+
+        This is how a merged multi-host store becomes a
+        :class:`ResultSet` without re-running anything.  A spec absent
+        from the store raises :class:`ConfigurationError` naming the
+        gap, unless ``allow_missing=True`` — then incomplete grids
+        return only the records that exist.
+        """
+        specs = self.specs()
+        records = []
+        missing = []
+        for spec in specs:
+            cached = store.get(spec.spec_hash)
+            if cached is not None:
+                records.append(cached.with_spec(spec))
+            else:
+                missing.append(spec)
+        if missing and not allow_missing:
+            raise ConfigurationError(
+                f"store {store.root} is missing {len(missing)} of "
+                f"{len(specs)} grid specs (first: {missing[0].label()}); "
+                "run the remaining shards or pass allow_missing=True"
+            )
+        return ResultSet(records=tuple(records))
 
 
 def _reject_duplicates(label: str, values: Sequence[object]) -> None:

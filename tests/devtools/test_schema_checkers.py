@@ -113,3 +113,59 @@ class TestStudyCheck:
         assert studycheck.main(["check_study_json.py", str(path)]) == 0
         capsys.readouterr()
         assert studycheck.main(["check_study_json.py"]) == 2
+
+
+class TestStudyEquality:
+    """``check_study_json.py A --equal B`` — the shard-merge parity gate."""
+
+    def write_pair(self, tmp_path, mutate=None):
+        first = tmp_path / "serial.json"
+        first.write_text(json.dumps(STUDY_EXPORT))
+        payload = json.loads(json.dumps(STUDY_EXPORT))
+        if mutate is not None:
+            mutate(payload)
+        second = tmp_path / "merged.json"
+        second.write_text(json.dumps(payload))
+        return first, second
+
+    def test_identical_exports_are_equal(self, tmp_path):
+        first, second = self.write_pair(tmp_path)
+        findings, summary = studycheck.compare_files(first, second)
+        assert findings == []
+        assert "bit-identical" in summary
+
+    def test_wall_time_differences_are_ignored(self, tmp_path):
+        def slow_down(payload):
+            payload["records"][0]["wall_seconds"] = 99.0
+
+        first, second = self.write_pair(tmp_path, slow_down)
+        findings, _ = studycheck.compare_files(first, second)
+        assert findings == []
+
+    def test_payload_differences_are_a_finding(self, tmp_path):
+        def tamper(payload):
+            payload["records"][0]["scalars"]["final_capacity"] = -1.0
+
+        first, second = self.write_pair(tmp_path, tamper)
+        findings, _ = studycheck.compare_files(first, second)
+        assert any("not bit-identical" in f.message for f in findings)
+
+    def test_record_count_mismatch_is_a_finding(self, tmp_path):
+        def double(payload):
+            payload["records"].append(json.loads(
+                json.dumps(payload["records"][0])
+            ))
+            payload["records"][1]["spec_hash"] = "1" * 64
+            payload["count"] = 2
+
+        first, second = self.write_pair(tmp_path, double)
+        findings, _ = studycheck.compare_files(first, second)
+        assert any("records" in f.message for f in findings)
+
+    def test_main_equal_mode(self, tmp_path, capsys):
+        first, second = self.write_pair(tmp_path)
+        code = studycheck.main(
+            ["check_study_json.py", str(first), "--equal", str(second)]
+        )
+        assert code == 0
+        assert "bit-identical" in capsys.readouterr().out

@@ -1,0 +1,131 @@
+"""Hypothesis properties of :func:`repro.orchestration.shard.merge_stores`.
+
+The merge must be a *fold*: any partition of a study's records across
+any number of stores, merged in any order — with agreeing duplicates
+carrying different wall times — produces the same destination contents.
+That is what makes multi-host sharding safe to coordinate loosely: the
+merge step cannot depend on which host finished first.
+
+Strategy note: plans place every record in at least one source store
+(possibly several, with a distinct wall-time variant per copy), so every
+draw is a valid sharded execution by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+from pathlib import Path
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.orchestration.shard import merge_stores
+from repro.orchestration.store import ResultStore
+from repro.orchestration.study import Study
+from repro.simulation.config import SimulationConfig
+
+POOL_SIZE = 3
+WALL_TIMES = (0.25, 1.0, 4.0)
+
+
+@pytest.fixture(scope="module")
+def record_pool():
+    """A small grid of real records, executed once for the whole module."""
+    config = SimulationConfig(
+        seed_suppliers={1: 2},
+        requesting_peers={1: 2, 2: 2, 3: 8, 4: 8},
+        arrival_pattern=1,
+        master_seed=31,
+    )
+    records = Study.from_config(config).seeds(POOL_SIZE).run()
+    assert len(records) == POOL_SIZE
+    return list(records)
+
+
+@st.composite
+def merge_plans(draw):
+    """(store count, record placements, wall variants, merge order).
+
+    ``placements[i]`` is the non-empty set of stores holding record
+    ``i``; ``walls[i]`` maps each of those stores to a wall-time index,
+    modelling the same deterministic result measured on hosts of
+    different speeds.
+    """
+    n_stores = draw(st.integers(min_value=1, max_value=4))
+    placements = [
+        draw(st.sets(
+            st.integers(min_value=0, max_value=n_stores - 1), min_size=1
+        ))
+        for _ in range(POOL_SIZE)
+    ]
+    walls = [
+        {
+            index: draw(st.integers(0, len(WALL_TIMES) - 1))
+            for index in sorted(placement)
+        }
+        for placement in placements
+    ]
+    order = draw(st.permutations(range(n_stores)))
+    return n_stores, placements, walls, order
+
+
+def build_sources(root: Path, pool, n_stores, placements, walls):
+    stores = [ResultStore(root / f"shard-{i}") for i in range(n_stores)]
+    for record, placement, wall in zip(pool, placements, walls):
+        for index in placement:
+            stores[index].put(dataclasses.replace(
+                record, wall_seconds=WALL_TIMES[wall[index]]
+            ))
+    return stores
+
+
+def contents(store: ResultStore) -> dict[str, bytes]:
+    return {
+        spec_hash: store.path_for(spec_hash).read_bytes()
+        for spec_hash in store.spec_hashes()
+    }
+
+
+class TestMergeProperties:
+    @given(plan=merge_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutes_over_source_order(self, record_pool, plan):
+        n_stores, placements, walls, order = plan
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            sources = build_sources(
+                root / "src", record_pool, n_stores, placements, walls
+            )
+            shuffled = ResultStore(root / "shuffled")
+            for index in order:
+                merge_stores(shuffled, [sources[index]])
+            canonical = ResultStore(root / "canonical")
+            merge_stores(canonical, sources)
+            assert contents(shuffled) == contents(canonical)
+            # Every record landed, and the winner among duplicates is
+            # always the smallest wall time — order cannot matter.
+            assert len(shuffled) == POOL_SIZE
+            for record, wall in zip(record_pool, walls):
+                merged = shuffled.get(record.spec_hash)
+                assert merged is not None
+                assert merged.wall_seconds == min(
+                    WALL_TIMES[i] for i in wall.values()
+                )
+
+    @given(plan=merge_plans())
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_idempotent(self, record_pool, plan):
+        n_stores, placements, walls, _ = plan
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            sources = build_sources(
+                root / "src", record_pool, n_stores, placements, walls
+            )
+            merged = ResultStore(root / "merged")
+            merge_stores(merged, sources)
+            first = contents(merged)
+            report = merge_stores(merged, sources)
+            assert contents(merged) == first
+            assert report.copied == report.replaced == 0

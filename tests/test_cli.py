@@ -290,6 +290,11 @@ class TestStudyCommand:
         payload = json.loads((tmp_path / "cmp.json").read_text())
         assert payload["count"] == 2
 
+    def test_study_resume_requires_cache_dir(self, capsys):
+        code = main(["study", "--scale", "0.004", "--resume"])
+        assert code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
     def test_replicate_with_cache_dir(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "cache")
         argv = ["replicate", "--scale", "0.004", "--pattern", "1",
@@ -298,3 +303,63 @@ class TestStudyCommand:
         capsys.readouterr()
         assert main(argv) == 0
         assert "2-seed replication" in capsys.readouterr().out
+
+
+class TestStudySharding:
+    GRID = ["--scale", "0.004", "--pattern", "1", "--seeds", "2"]
+
+    def test_shard_merge_status_round_trip(self, capsys, tmp_path):
+        shards = [str(tmp_path / f"shard{i}") for i in range(2)]
+        for index, store in enumerate(shards):
+            code = main(["study", "shard", *self.GRID, "--store", store,
+                         "--slice", f"{index}/2", "--owner", f"host{index}"])
+            assert code == 0
+            assert "1/1 executed" in capsys.readouterr().out
+        merged = str(tmp_path / "merged")
+        assert main(["study", "merge", "--into", merged, *shards]) == 0
+        assert "2 copied" in capsys.readouterr().out
+        assert main(["study", "status", *self.GRID, "--store", merged]) == 0
+        out = capsys.readouterr().out
+        assert "2 done" in out and "0 pending of 2 specs" in out
+        # The merged store serves the whole grid from cache: the study
+        # command recomputes nothing and reports every run as cached.
+        assert main(["study", *self.GRID, "--cache-dir", merged]) == 0
+        out = capsys.readouterr().out
+        assert "study: 2 runs" in out
+        assert out.count("cache") >= 2
+
+    def test_shard_rejects_malformed_slice(self, capsys):
+        code = main(["study", "shard", "--store", "ignored",
+                     "--slice", "2of2"])
+        assert code == 2
+        assert "I/N" in capsys.readouterr().err
+
+    def test_shard_rejects_out_of_range_slice(self, capsys):
+        code = main(["study", "shard", "--store", "ignored",
+                     "--slice", "2/2"])
+        assert code == 2
+        assert "0 <= I < N" in capsys.readouterr().err
+
+    def test_status_without_grid_flags_reports_store_only(
+        self, capsys, tmp_path
+    ):
+        store = str(tmp_path / "store")
+        assert main(["study", "shard", *self.GRID, "--store", store,
+                     "--slice", "0/1"]) == 0
+        capsys.readouterr()
+        assert main(["study", "status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 done" in out and "pending" not in out
+
+    def test_resume_completes_a_partial_store(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        # First worker executes only its slice, leaving the grid half done.
+        assert main(["study", "shard", *self.GRID, "--store", store,
+                     "--slice", "0/2"]) == 0
+        capsys.readouterr()
+        assert main(["study", *self.GRID, "--cache-dir", store,
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "study: 2 runs" in out
+        assert main(["study", "status", *self.GRID, "--store", store]) == 0
+        assert "0 pending" in capsys.readouterr().out
